@@ -1,0 +1,60 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints (a) the measured numbers next to the paper's, and (b) the shape
+checks that encode the paper's qualitative claims.  Absolute values are
+not expected to match (our substrate is a synthetic world on a numpy
+engine); the shapes are the reproduction target — see EXPERIMENTS.md.
+
+Environment knobs for quicker local iterations:
+
+* ``REPRO_BENCH_SCALE``   — world-size multiplier (default 1.0)
+* ``REPRO_BENCH_EPOCHS``  — pretraining epochs (default 10; incremental
+  epochs scale as 40% of this, min 2)
+* ``REPRO_BENCH_REPEATS`` — training seeds averaged per run where the
+  driver supports it (default 2; the paper averages 10)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import default_config, render_shape_checks
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+
+
+def bench_config(seed: int = 0):
+    pretrain = int(os.environ.get("REPRO_BENCH_EPOCHS", "10"))
+    incremental = max(2, int(round(pretrain * 0.4)))
+    return default_config(
+        epochs_pretrain=pretrain,
+        epochs_incremental=incremental,
+        seed=seed,
+    )
+
+
+def report(title: str, body: str, checks=None) -> None:
+    print(f"\n===== {title} =====")
+    print(body)
+    if checks is not None:
+        print(render_shape_checks(checks))
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

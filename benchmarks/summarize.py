@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Summarize a benchmark run's shape checks into a markdown table.
+
+Usage:  python benchmarks/summarize.py bench_output.txt
+
+Parses the ``===== <title> =====`` sections and the ``N/M shape checks
+hold`` lines the bench harness prints, and emits the markdown summary
+that EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+
+def parse_sections(text: str) -> List[Tuple[str, int, int]]:
+    """Return (section title, checks passed, checks total) triples."""
+    sections: List[Tuple[str, int, int]] = []
+    title = None
+    for line in text.splitlines():
+        header = re.match(r"^=====\s+(.*?)\s+=====$", line)
+        if header:
+            title = header.group(1)
+            continue
+        tally = re.match(r"^(\d+)/(\d+) shape checks hold$", line.strip())
+        if tally and title is not None:
+            sections.append((title, int(tally.group(1)), int(tally.group(2))))
+            title = None
+    return sections
+
+
+def to_markdown(sections: List[Tuple[str, int, int]]) -> str:
+    lines = ["| experiment | shape checks |", "|---|---|"]
+    passed_total = checks_total = 0
+    for title, passed, total in sections:
+        lines.append(f"| {title} | {passed}/{total} |")
+        passed_total += passed
+        checks_total += total
+    lines.append(f"| **overall** | **{passed_total}/{checks_total}** |")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    text = Path(argv[1]).read_text()
+    sections = parse_sections(text)
+    if not sections:
+        print("no shape-check sections found", file=sys.stderr)
+        return 1
+    print(to_markdown(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,51 @@
+"""Extension experiments beyond the paper's tables.
+
+1. **EWC baseline** — the paper's related work argues regularization-based
+   incremental learning is of limited use for MSR because it constrains
+   parameters (not user interests) and cannot grow the interest count.
+   We run EWC head-to-head: it should land near FT and below IMSR.
+2. **IMSR + replay** — combining the paper's method with ADER-style
+   exemplar replay; reported as an open question ("does replay still add
+   anything once retention + expansion are in place?").
+"""
+
+from conftest import bench_config, bench_repeats, bench_scale, report
+
+from repro.data import load_dataset
+from repro.experiments import format_table, run_repeated, shape_check
+
+
+def test_extension_strategies(run_once):
+    def build():
+        _, split = load_dataset("taobao", scale=bench_scale())
+        config = bench_config()
+        out = {}
+        for name in ("FT", "EWC", "IMSR", "IMSR+Replay", "FR"):
+            out[name] = run_repeated("taobao", "ComiRec-DR", name, split,
+                                     config=config, repeats=bench_repeats())
+        return out
+
+    results = run_once(build)
+    rows = [
+        {"strategy": name, "HR": res.avg.hr, "NDCG": res.avg.ndcg,
+         "mean_K_final": res.interest_counts[-1]}
+        for name, res in results.items()
+    ]
+    mean = lambda r: 0.5 * (r.avg.hr + r.avg.ndcg)
+    checks = [
+        shape_check(
+            "EWC lands between FT and FR (regularization helps a little)",
+            mean(results["FR"]) >= mean(results["EWC"]) >= mean(results["FT"]) - 0.01),
+        shape_check(
+            "IMSR beats EWC (expansion + representation-level retention "
+            "beat parameter-level regularization)",
+            mean(results["IMSR"]) > mean(results["EWC"])),
+        shape_check(
+            "EWC cannot grow the interest count",
+            results["EWC"].interest_counts[-1] == results["FT"].interest_counts[-1]),
+        shape_check(
+            "IMSR+Replay is at least IMSR-level (replay does not hurt)",
+            mean(results["IMSR+Replay"]) >= mean(results["IMSR"]) - 0.005),
+    ]
+    report("Extensions: EWC baseline and IMSR+Replay (Taobao, ComiRec-DR)",
+           format_table(rows), checks)

@@ -1,0 +1,19 @@
+"""Figure 2 — puzzlement case study (skirt vs LEGO analog)."""
+
+from conftest import bench_config, bench_scale, report
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_puzzlement_case(run_once):
+    result = run_once(run_fig2, scale=bench_scale(), config=bench_config())
+    report(
+        f"Figure 2: dot-products for user {result.user} "
+        f"(new-topic item {result.new_topic_item}, "
+        f"old-topic item {result.old_topic_item})",
+        result.format(),
+        result.shape_checks(),
+    )
+    assert result.puzzlement_new_before > 0
+    assert result.n_existing >= 1
+    assert len(result.after_new) > result.n_existing  # NID created capsules

@@ -1,0 +1,15 @@
+"""Figure 3 — redundancy/norm diagnostics of untrimmed new interests."""
+
+from conftest import bench_config, bench_scale, report
+
+from repro.experiments import format_table, run_fig3
+
+
+def test_fig3_redundancy(run_once):
+    result = run_once(run_fig3, scale=bench_scale(), config=bench_config())
+    report("Figure 3: new-interest redundancy without vs with PIT",
+           result.format(), result.shape_checks())
+    if result.examples:
+        print("example untrimmed new interests:")
+        print(format_table(result.examples))
+    assert result.norms_untrimmed, "expansion never happened"

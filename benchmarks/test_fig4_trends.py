@@ -1,0 +1,19 @@
+"""Figure 4 — HR trends per span for all strategies (ComiRec-DR)."""
+
+from conftest import bench_config, bench_repeats, bench_scale, report
+
+from repro.experiments import ascii_line_chart, run_fig4
+
+
+def test_fig4_trends(run_once):
+    result = run_once(run_fig4, scale=bench_scale(), config=bench_config(),
+                      repeats=bench_repeats())
+    report("Figure 4: HR over time spans (ComiRec-DR)", result.format(),
+           result.shape_checks())
+    for dataset, series in result.series.items():
+        print()
+        print(ascii_line_chart(series, title=f"[{dataset}] HR@20 per span",
+                               y_label="HR@20"))
+    for dataset, series in result.series.items():
+        assert set(series) == {"FR", "FT", "SML", "ADER", "IMSR"}
+        assert all(len(v) == 5 for v in series.values())

@@ -1,0 +1,74 @@
+"""Figure 5 — ablation study (Books and Taobao, ComiRec-DR/SA)."""
+
+from conftest import bench_config, bench_repeats, bench_scale, report
+
+from repro.experiments import format_table, run_fig5
+
+
+def test_fig5_ablation(run_once):
+    result = run_once(run_fig5, scale=bench_scale(), config=bench_config(),
+                      repeats=bench_repeats())
+    report("Figure 5: ablation study", result.format(), result.shape_checks())
+
+    avg_rows = []
+    for (dataset, model), averages in sorted(result.averages().items()):
+        row = {"dataset": dataset, "model": model}
+        row.update(averages)
+        avg_rows.append(row)
+    print("span-averaged HR per variant:")
+    print(format_table(avg_rows))
+
+    for key, averages in result.averages().items():
+        assert set(averages) == {
+            "FT", "IMSR w/o NID&PIT", "IMSR w/o EIR", "IMSR(DIR)",
+            "IMSR(KD1)", "IMSR(KD2)", "IMSR(KD3)", "IMSR",
+        }
+
+
+def test_fig5_eir_drift_mechanism(run_once):
+    """Mechanism-level EIR check backing the ablation.
+
+    The end-metric differences between ablation variants in the paper are
+    ~0.5-1% HR over 10 averaged runs on million-user logs — below the
+    noise floor at reproduced scale.  EIR's *mechanism* is directly
+    measurable though: with the distillation loss on, a user's existing
+    interests drift less from their span-start snapshots than with it
+    off.
+    """
+    import numpy as np
+
+    from repro.data import load_dataset
+    from repro.experiments import make_strategy, shape_check
+
+    def build():
+        _, split = load_dataset("books", scale=bench_scale())
+        config = bench_config()
+        drifts = {}
+        for label, kwargs in (("EIR on", {}), ("EIR off", {"kd_weight": 0.0})):
+            strategy = make_strategy("IMSR", "ComiRec-DR", split, config,
+                                     strategy_kwargs=kwargs)
+            strategy.pretrain()
+            per_span = []
+            for t in range(1, split.T):
+                strategy.train_span(t)
+                moves = []
+                for state in strategy.states.values():
+                    k = min(state.n_existing, state.num_interests,
+                            state.prev_interests.shape[0])
+                    if k:
+                        moves.append(float(np.linalg.norm(
+                            state.interests[:k] - state.prev_interests[:k],
+                            axis=1).mean()))
+                per_span.append(float(np.mean(moves)))
+            drifts[label] = float(np.mean(per_span))
+        return drifts
+
+    drifts = run_once(build)
+    checks = [
+        shape_check(
+            "EIR reduces the drift of existing interests",
+            drifts["EIR on"] < drifts["EIR off"]),
+    ]
+    report("Figure 5 mechanism: existing-interest drift with/without EIR",
+           "\n".join(f"{k}: mean drift {v:.4f}" for k, v in drifts.items()),
+           checks)

@@ -1,0 +1,14 @@
+"""Figure 6 — hyperparameter sensitivity (c1, c2, K, deltaK)."""
+
+from conftest import bench_config, bench_repeats, bench_scale, report
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_sensitivity(run_once):
+    result = run_once(run_fig6, scale=bench_scale(), config=bench_config(),
+                      repeats=bench_repeats())
+    report("Figure 6: sensitivity sweeps", result.format(),
+           result.shape_checks())
+    for sweep, values in result.sweeps.items():
+        assert all(0.0 <= hr <= 1.0 for hr in values.values())

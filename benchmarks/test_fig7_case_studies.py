@@ -1,0 +1,26 @@
+"""Figure 7 — case studies: item-type split, trajectories, early interests."""
+
+import numpy as np
+
+from conftest import bench_config, bench_scale, report
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_case_studies(run_once):
+    result = run_once(run_fig7, scale=bench_scale(), config=bench_config())
+    report("Figure 7: case studies", result.format(), result.shape_checks())
+
+    if result.trajectory:
+        print(f"(b) interest trajectory of user {result.trajectory_user} "
+              f"(2-D PCA coordinates per span):")
+        for t in sorted(result.trajectory):
+            coords = np.round(result.trajectory[t], 2).tolist()
+            print(f"  span {t}: {coords}")
+    if result.heatmap.size:
+        print("(c) attention heatmap (rows = target items, "
+              "cols = interests tagged by creation span "
+              f"{result.heatmap_created.tolist()}):")
+        print(np.round(result.heatmap, 3))
+
+    assert {"FR", "FT", "IMSR"} <= set(result.item_type_hr)

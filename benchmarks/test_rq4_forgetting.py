@@ -1,0 +1,46 @@
+"""RQ4 instrumentation — where do IMSR's improvements come from?
+
+Not a table in the paper, but the machine-checked version of its RQ4
+narrative: the span-accuracy matrix quantifies catastrophic forgetting
+per strategy.  Expected shape: FT has the most negative backward
+transfer, IMSR retains markedly better, FR (which re-sees all data) is
+the retention ceiling.
+"""
+
+from conftest import bench_config, bench_scale, report
+
+from repro.data import load_dataset
+from repro.eval import compare_forgetting, forgetting_analysis
+from repro.experiments import format_table, make_strategy, shape_check
+
+
+def test_rq4_forgetting(run_once):
+    def build():
+        _, split = load_dataset("taobao", scale=bench_scale())
+        config = bench_config()
+        reports = {}
+        for name in ("FT", "ADER", "IMSR", "FR"):
+            strategy = make_strategy(name, "ComiRec-DR", split, config)
+            reports[name] = forgetting_analysis(strategy, split)
+        return reports
+
+    reports = run_once(build)
+    rows = compare_forgetting(reports)
+    checks = [
+        shape_check(
+            "FT's backward transfer is the most negative (worst forgetting)",
+            reports["FT"].backward_transfer()
+            == min(r.backward_transfer() for r in reports.values())),
+        shape_check(
+            "IMSR retains better than FT (higher backward transfer)",
+            reports["IMSR"].backward_transfer()
+            > reports["FT"].backward_transfer()),
+        shape_check(
+            "FR is the retention ceiling (highest backward transfer)",
+            reports["FR"].backward_transfer()
+            == max(r.backward_transfer() for r in reports.values())),
+    ]
+    report("RQ4: forgetting analysis (Taobao preset, ComiRec-DR)",
+           format_table(rows), checks)
+    print("\nIMSR span-accuracy matrix (rows: after training span i):")
+    print(format_table(reports["IMSR"].as_rows(), float_fmt="{:.3f}"))

@@ -1,0 +1,18 @@
+"""Table IV — IMSR vs lifelong MSR baselines (MIMN, LimaRec)."""
+
+from conftest import bench_config, bench_scale, report
+
+from repro.experiments import run_table4
+
+
+def test_table4_lifelong(run_once):
+    result = run_once(run_table4, scale=bench_scale(), config=bench_config())
+    report("Table IV: IMSR vs lifelong MSR models", result.format(),
+           result.shape_checks())
+
+    datasets = sorted({d for d, _ in result.runs})
+    imsr_wins = sum(
+        result.runs[(d, "IMSR")].avg.hr > result.runs[(d, "MIMN")].avg.hr
+        for d in datasets
+    )
+    assert imsr_wins == len(datasets)

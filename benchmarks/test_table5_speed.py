@@ -1,0 +1,29 @@
+"""Table V — training time per span and inference time on Taobao.
+
+Absolute seconds are hardware- and scale-specific; the reproduced shape
+is the *relative* structure: FR slowest and growing, ADER growing,
+FT/SML/IMSR flat, IMSR within a few percent of FT.
+"""
+
+from conftest import bench_config, bench_scale, report
+
+from repro.experiments import run_table5
+
+
+def test_table5_speed(run_once):
+    result = run_once(
+        run_table5,
+        models=("MIND", "ComiRec-DR", "ComiRec-SA"),
+        scale=bench_scale(),
+        config=bench_config(),
+    )
+    checks = []
+    for model in ("MIND", "ComiRec-DR", "ComiRec-SA"):
+        checks.extend(result.shape_checks(model=model))
+    report("Table V: training/inference time (Taobao preset)",
+           result.format(), checks)
+
+    dr = {(m, s): r for (m, s), r in result.runs.items() if m == "ComiRec-DR"}
+    fr_times = [t for k, t in dr[("ComiRec-DR", "FR")].train_times.items() if k > 0]
+    ft_times = [t for k, t in dr[("ComiRec-DR", "FT")].train_times.items() if k > 0]
+    assert sum(fr_times) > sum(ft_times)

@@ -1,0 +1,33 @@
+"""IMSR reproduction: Incremental Learning for Multi-Interest Sequential
+Recommendation (Wang & Shen, ICDE 2023), built on a from-scratch numpy
+substrate.
+
+Layered public API:
+
+* :mod:`repro.autograd` — reverse-mode autodiff engine (replaces PyTorch);
+* :mod:`repro.nn` — modules, layers, optimizers;
+* :mod:`repro.data` — synthetic interest world + time-span protocol;
+* :mod:`repro.models` — MIND, ComiRec-DR, ComiRec-SA base MSR models;
+* :mod:`repro.incremental` — FR, FT, SML, ADER, and **IMSR** (EIR/NID/PIT);
+* :mod:`repro.lifelong` — MIMN and LimaRec baselines;
+* :mod:`repro.eval` — HR/NDCG, span protocol, significance tests;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+from . import autograd, data, eval, experiments, incremental, lifelong, models, nn
+from . import persistence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "data",
+    "models",
+    "incremental",
+    "lifelong",
+    "eval",
+    "experiments",
+    "persistence",
+    "__version__",
+]

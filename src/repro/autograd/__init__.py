@@ -1,0 +1,17 @@
+"""Reverse-mode autodiff substrate (replaces PyTorch in this reproduction)."""
+
+from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+from . import ops
+from .grad_check import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "check_gradients",
+    "numerical_gradient",
+]

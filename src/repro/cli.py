@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show available datasets, base models, strategies, and experiments.
+``stats DATASET``
+    Print the Table-II-style statistics of a dataset preset.
+``run DATASET MODEL STRATEGY``
+    Execute one incremental-learning run and print per-span metrics.
+``experiment ID``
+    Regenerate one of the paper's tables/figures (e.g. ``table3``,
+    ``fig5``) and print it with its shape checks.
+``checkpoint-info PATH``
+    Inspect a checkpoint written by :mod:`repro.persistence`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .data import DATASET_NAMES, compute_stats, load_dataset
+from .experiments import (
+    EXPERIMENTS,
+    default_config,
+    format_table,
+    get_experiment,
+    make_strategy,
+    render_shape_checks,
+    run_strategy,
+)
+from .incremental import STRATEGY_REGISTRY
+from .models import MODEL_REGISTRY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMSR reproduction (Wang & Shen, ICDE 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list datasets/models/strategies/experiments")
+
+    p_stats = sub.add_parser("stats", help="dataset statistics (Table II)")
+    p_stats.add_argument("dataset", choices=DATASET_NAMES)
+    p_stats.add_argument("--scale", type=float, default=1.0)
+
+    p_run = sub.add_parser("run", help="one incremental-learning run")
+    p_run.add_argument("dataset", choices=DATASET_NAMES)
+    p_run.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    p_run.add_argument("strategy", choices=sorted(STRATEGY_REGISTRY))
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--epochs", type=int, default=10,
+                       help="pretraining epochs (incremental = 40%%)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--dim", type=int, default=32)
+    p_run.add_argument("--interests", type=int, default=4,
+                       help="initial interests per user (K)")
+    p_run.add_argument("--c1", type=float, default=None,
+                       help="IMSR puzzlement threshold")
+    p_run.add_argument("--c2", type=float, default=None,
+                       help="IMSR trimming threshold")
+    p_run.add_argument("--delta-k", type=int, default=None,
+                       help="IMSR interests added on expansion")
+
+    p_exp = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    p_exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("--epochs", type=int, default=10)
+
+    p_ckpt = sub.add_parser("checkpoint-info", help="inspect a checkpoint")
+    p_ckpt.add_argument("path")
+
+    return parser
+
+
+def cmd_list() -> int:
+    print("datasets:   ", ", ".join(DATASET_NAMES))
+    print("models:     ", ", ".join(sorted(MODEL_REGISTRY)))
+    print("strategies: ", ", ".join(sorted(STRATEGY_REGISTRY)))
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    _, split = load_dataset(args.dataset, scale=args.scale)
+    stats = compute_stats(args.dataset, split)
+    print(format_table([stats.as_row()]))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    _, split = load_dataset(args.dataset, scale=args.scale)
+    config = default_config(
+        epochs_pretrain=args.epochs,
+        epochs_incremental=max(2, int(round(args.epochs * 0.4))),
+        seed=args.seed,
+    )
+    strategy_kwargs = {}
+    for key, value in (("c1", args.c1), ("c2", args.c2),
+                       ("delta_k", args.delta_k)):
+        if value is not None:
+            if args.strategy != "IMSR":
+                print(f"warning: --{key} only applies to IMSR", file=sys.stderr)
+            else:
+                strategy_kwargs[key] = value
+    strategy = make_strategy(
+        args.strategy, args.model, split, config,
+        model_kwargs={"dim": args.dim, "num_interests": args.interests},
+        strategy_kwargs=strategy_kwargs,
+    )
+    result = run_strategy(strategy, split, args.dataset, args.model)
+    rows = [
+        {"span": t + 1, "HR@20": r.hr, "NDCG@20": r.ndcg,
+         "cases": r.num_cases, "mean K": result.interest_counts[t]}
+        for t, r in enumerate(result.per_span)
+    ]
+    print(format_table(rows))
+    print(f"average: HR@20={result.hr:.4f}  NDCG@20={result.ndcg:.4f}  "
+          f"inference={result.inference_time * 1000:.2f} ms/user")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment_id)
+    if args.experiment_id == "table2":
+        rows = []
+        for name in DATASET_NAMES:
+            _, split = load_dataset(name, scale=args.scale)
+            rows.append(compute_stats(name, split).as_row())
+        print(format_table(rows))
+        return 0
+    config = default_config(
+        epochs_pretrain=args.epochs,
+        epochs_incremental=max(2, int(round(args.epochs * 0.4))),
+    )
+    result = experiment.driver(scale=args.scale, config=config)
+    print(result.format())
+    checks = getattr(result, "shape_checks", None)
+    if callable(checks):
+        print(render_shape_checks(checks()))
+    return 0
+
+
+def cmd_checkpoint_info(args: argparse.Namespace) -> int:
+    from .persistence import checkpoint_info
+
+    meta = checkpoint_info(args.path)
+    for key, value in meta.items():
+        if key == "users":
+            print(f"users: {len(value)}")
+        else:
+            print(f"{key}: {value}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "stats":
+        return cmd_stats(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    if args.command == "checkpoint-info":
+        return cmd_checkpoint_info(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

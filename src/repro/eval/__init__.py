@@ -1,0 +1,21 @@
+"""Evaluation: ranking metrics, span protocol, significance tests."""
+
+from .metrics import hit_at_k, metrics_at_k, ndcg_at_k, rank_of_target
+from .evaluator import EvalResult, average_results, evaluate_span
+from .significance import paired_t_test, significantly_better
+from .forgetting import ForgettingReport, compare_forgetting, forgetting_analysis
+
+__all__ = [
+    "hit_at_k",
+    "ndcg_at_k",
+    "rank_of_target",
+    "metrics_at_k",
+    "EvalResult",
+    "evaluate_span",
+    "average_results",
+    "paired_t_test",
+    "significantly_better",
+    "ForgettingReport",
+    "forgetting_analysis",
+    "compare_forgetting",
+]

@@ -1,0 +1,43 @@
+"""Ranking metrics: hit ratio and NDCG at a cutoff (paper: top-20)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def rank_of_target(scores: np.ndarray, target: int,
+                   exclude: Optional[Sequence[int]] = None) -> int:
+    """0-based rank of ``target`` under descending ``scores``.
+
+    ``exclude`` items (e.g. the user's training history) are pushed below
+    everything else.  Ties are broken pessimistically (equal-scored items
+    count as ranked above the target) so metrics never benefit from
+    degenerate constant scores.
+    """
+    target_score = scores[target]
+    mask = np.ones_like(scores, dtype=bool)
+    if exclude is not None:
+        mask[list(exclude)] = False
+    mask[target] = False
+    return int(np.count_nonzero(scores[mask] >= target_score))
+
+
+def hit_at_k(rank: int, k: int = 20) -> float:
+    """1.0 if the 0-based ``rank`` falls inside the top-``k`` else 0.0."""
+    return 1.0 if rank < k else 0.0
+
+
+def ndcg_at_k(rank: int, k: int = 20) -> float:
+    """NDCG@k with a single relevant item: ``1 / log2(rank + 2)`` if hit."""
+    if rank >= k:
+        return 0.0
+    return 1.0 / np.log2(rank + 2.0)
+
+
+def metrics_at_k(scores: np.ndarray, target: int, k: int = 20,
+                 exclude: Optional[Sequence[int]] = None) -> tuple:
+    """Convenience: ``(hit@k, ndcg@k)`` for one test instance."""
+    rank = rank_of_target(scores, target, exclude=exclude)
+    return hit_at_k(rank, k), ndcg_at_k(rank, k)

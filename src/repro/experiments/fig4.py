@@ -1,0 +1,89 @@
+"""Figure 4 — HR trends over time spans (ComiRec-DR, all strategies).
+
+Paper shape: FT degrades fastest over spans; SML and ADER also drop;
+IMSR stays close to FR (drops only slightly faster); the degradation of
+the non-IMSR incremental methods is worst on Taobao.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data import load_dataset
+from ..incremental import TrainConfig
+from .reporting import format_table, series_to_rows, shape_check
+from .runner import RunResult, default_config, run_repeated
+
+STRATEGIES = ("FR", "FT", "SML", "ADER", "IMSR")
+
+
+def _slope(values: Sequence[float]) -> float:
+    """Least-squares slope of a metric across spans (degradation rate)."""
+    y = np.asarray(values, dtype=np.float64)
+    x = np.arange(len(y), dtype=np.float64)
+    if len(y) < 2:
+        return 0.0
+    return float(np.polyfit(x, y, 1)[0])
+
+
+@dataclass
+class Fig4Result:
+    #: dataset -> strategy -> HR per evaluated span
+    series: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    runs: Dict[tuple, RunResult] = field(default_factory=dict)
+
+    def rows(self, dataset: str) -> List[Dict[str, object]]:
+        return series_to_rows(self.series[dataset])
+
+    def format(self) -> str:
+        blocks = []
+        for dataset in sorted(self.series):
+            blocks.append(f"[{dataset}]")
+            blocks.append(format_table(self.rows(dataset)))
+        return "\n".join(blocks)
+
+    def shape_checks(self) -> List[Dict[str, object]]:
+        checks: List[Dict[str, object]] = []
+        for dataset, series in sorted(self.series.items()):
+            checks.append(shape_check(
+                f"[{dataset}] FT performance declines over spans",
+                _slope(series["FT"]) < 0))
+            late = lambda v: float(np.mean(v[-2:]))
+            checks.append(shape_check(
+                f"[{dataset}] IMSR beats FT on the late spans",
+                late(series["IMSR"]) > late(series["FT"]) - 1e-9))
+            checks.append(shape_check(
+                f"[{dataset}] IMSR average is within 15% of FR",
+                np.mean(series["IMSR"]) >= 0.85 * np.mean(series["FR"])))
+        return checks
+
+
+def run_fig4(
+    datasets: Sequence[str] = ("electronics", "clothing", "books", "taobao"),
+    model: str = "ComiRec-DR",
+    strategies: Sequence[str] = STRATEGIES,
+    scale: float = 1.0,
+    config: Optional[TrainConfig] = None,
+    repeats: int = 1,
+) -> Fig4Result:
+    """Regenerate the Figure 4 per-span trend curves.
+
+    ``repeats`` averages each curve over several training seeds (the
+    paper averages 10 repetitions).
+    """
+    config = config or default_config()
+    result = Fig4Result()
+    for dataset in datasets:
+        _, split = load_dataset(dataset, scale=scale)
+        result.series[dataset] = {}
+        for strategy_name in strategies:
+            run_res = run_repeated(dataset, model, strategy_name, split,
+                                   config=config, repeats=repeats)
+            result.runs[(dataset, strategy_name)] = run_res
+            result.series[dataset][strategy_name] = [
+                r.hr for r in run_res.per_span
+            ]
+    return result

@@ -1,0 +1,75 @@
+"""Experiment registry: every table and figure, with its driver.
+
+This is the per-experiment index DESIGN.md references; benchmarks call
+through here so the mapping table/figure → code lives in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One table or figure from the paper's evaluation."""
+
+    experiment_id: str
+    description: str
+    driver: Callable
+    bench_module: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in [
+        Experiment(
+            "table2", "dataset statistics (via repro.data.stats)",
+            lambda **kw: None, "benchmarks/test_table2_dataset_stats.py"),
+        Experiment(
+            "table3", "HR/NDCG of FR/FT/SML/ADER/IMSR x 3 models x 4 datasets",
+            run_table3, "benchmarks/test_table3_performance.py"),
+        Experiment(
+            "table4", "IMSR vs lifelong MSR (MIMN, LimaRec)",
+            run_table4, "benchmarks/test_table4_lifelong.py"),
+        Experiment(
+            "table5", "training time per span + inference time (Taobao)",
+            run_table5, "benchmarks/test_table5_speed.py"),
+        Experiment(
+            "fig2", "puzzlement case study (skirt vs LEGO analog)",
+            run_fig2, "benchmarks/test_fig2_puzzlement_case.py"),
+        Experiment(
+            "fig3", "redundancy of untrimmed new interests",
+            run_fig3, "benchmarks/test_fig3_redundancy.py"),
+        Experiment(
+            "fig4", "HR trends over spans, all strategies (ComiRec-DR)",
+            run_fig4, "benchmarks/test_fig4_trends.py"),
+        Experiment(
+            "fig5", "ablation: EIR / NID&PIT / DIR / KD1-3",
+            run_fig5, "benchmarks/test_fig5_ablation.py"),
+        Experiment(
+            "fig6", "sensitivity: c1, c2, (K, deltaK)",
+            run_fig6, "benchmarks/test_fig6_sensitivity.py"),
+        Experiment(
+            "fig7", "case studies: item types, trajectories, early interests",
+            run_fig7, "benchmarks/test_fig7_case_studies.py"),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]

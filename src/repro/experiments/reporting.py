@@ -1,0 +1,74 @@
+"""Plain-text table rendering and paper-vs-measured comparison helpers.
+
+Every experiment driver returns structured results; these helpers render
+them the way the paper's tables read, and annotate each row with the
+paper's reported value so EXPERIMENTS.md can record shape agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 float_fmt: str = "{:.4f}") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    sep = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+        for r in rendered
+    ]
+    return "\n".join([header, sep] + body)
+
+
+def relative_improvement(value: float, baseline: float) -> float:
+    """Percent relative improvement over a baseline (paper's RI column)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (value - baseline) / baseline
+
+
+def shape_check(description: str, holds: bool) -> Dict[str, object]:
+    """A single row of the shape-agreement report."""
+    return {"check": description, "holds": "yes" if holds else "NO"}
+
+
+def render_shape_checks(checks: Sequence[Mapping[str, object]]) -> str:
+    passed = sum(1 for c in checks if c["holds"] == "yes")
+    table = format_table(checks, columns=["check", "holds"])
+    return f"{table}\n{passed}/{len(checks)} shape checks hold"
+
+
+def series_to_rows(series: Mapping[str, Sequence[float]],
+                   x_label: str = "span",
+                   x_values: Optional[Sequence[object]] = None) -> List[Dict[str, object]]:
+    """Turn {name: [values per x]} into rows for :func:`format_table`."""
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    n = lengths.pop()
+    xs = list(x_values) if x_values is not None else list(range(1, n + 1))
+    rows = []
+    for i in range(n):
+        row: Dict[str, object] = {x_label: xs[i]}
+        for name, values in series.items():
+            row[name] = float(values[i])
+        rows.append(row)
+    return rows

@@ -1,0 +1,97 @@
+"""Table V — training time per span and average inference time (Taobao).
+
+Expected shape (the paper's, hardware-independent):
+
+* FR's per-span training time is the largest and grows across spans
+  (its data accumulates); growth is steepest on ComiRec-SA (attention is
+  quadratic in sequence length).
+* ADER's time grows too (its exemplar pool accumulates).
+* FT / SML / IMSR are roughly flat; IMSR costs only a few percent more
+  than FT; SML adds its meta-selection overhead.
+* IMSR's inference is slightly slower than FT's (more interests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..data import load_dataset
+from ..incremental import TrainConfig
+from .reporting import format_table, shape_check
+from .runner import RunResult, default_config, make_strategy, run_strategy
+
+#: Paper Table V, seconds, ComiRec-DR block (t=1..5 plus avg inference).
+PAPER_TABLE5_DR: Dict[str, List[float]] = {
+    "FR": [5472, 5693, 5871, 5902, 6023],
+    "FT": [928, 949, 932, 941, 946],
+    "SML": [1052, 1098, 1079, 1073, 1081],
+    "ADER": [990, 1199, 1499, 1591, 1891],
+    "IMSR": [941, 962, 954, 994, 983],
+}
+
+STRATEGIES = ("FR", "FT", "SML", "ADER", "IMSR")
+
+
+@dataclass
+class Table5Result:
+    runs: Dict[tuple, RunResult] = field(default_factory=dict)
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for (model, strategy), run_res in sorted(self.runs.items()):
+            row: Dict[str, object] = {"model": model, "strategy": strategy}
+            for t in sorted(k for k in run_res.train_times if k > 0):
+                row[f"t={t}"] = run_res.train_times[t]
+            row["inference(ms)"] = run_res.inference_time * 1000.0
+            rows.append(row)
+        return rows
+
+    def format(self) -> str:
+        return format_table(self.rows(), float_fmt="{:.3f}")
+
+    def shape_checks(self, model: str = "ComiRec-DR") -> List[Dict[str, object]]:
+        checks: List[Dict[str, object]] = []
+
+        def span_times(strategy: str) -> List[float]:
+            times = self.runs[(model, strategy)].train_times
+            return [times[t] for t in sorted(k for k in times if k > 0)]
+
+        fr, ft, imsr = span_times("FR"), span_times("FT"), span_times("IMSR")
+        ader = span_times("ADER") if (model, "ADER") in self.runs else None
+        checks.append(shape_check(
+            "FR is slower than FT in every span",
+            all(a > b for a, b in zip(fr, ft))))
+        checks.append(shape_check(
+            "FR training time grows from first to last span",
+            fr[-1] > fr[0]))
+        checks.append(shape_check(
+            "IMSR stays within 2x of FT per span (paper: ~3.5% overhead)",
+            all(a < 2.0 * b for a, b in zip(imsr, ft))))
+        checks.append(shape_check(
+            "IMSR per-span time is roughly flat (max/min < 2)",
+            max(imsr) / max(min(imsr), 1e-9) < 2.0))
+        if ader:
+            checks.append(shape_check(
+                "ADER training time grows from first to last span",
+                ader[-1] > ader[0]))
+        return checks
+
+
+def run_table5(
+    models: Sequence[str] = ("MIND", "ComiRec-DR", "ComiRec-SA"),
+    strategies: Sequence[str] = STRATEGIES,
+    dataset: str = "taobao",
+    scale: float = 1.0,
+    config: Optional[TrainConfig] = None,
+) -> Table5Result:
+    """Regenerate Table V on the Taobao preset."""
+    config = config or default_config()
+    result = Table5Result()
+    _, split = load_dataset(dataset, scale=scale)
+    for model in models:
+        for strategy_name in strategies:
+            strategy = make_strategy(strategy_name, model, split, config)
+            result.runs[(model, strategy_name)] = run_strategy(
+                strategy, split, dataset, model)
+    return result

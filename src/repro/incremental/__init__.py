@@ -1,0 +1,35 @@
+"""Incremental learning strategies compared in the paper."""
+
+from .strategy import IncrementalStrategy, TrainConfig, UserPayload, build_payloads
+from .fine_tune import FineTune
+from .full_retrain import FullRetrain
+from .sml import SML
+from .ader import ADER
+from .ewc import EWC
+from .imsr import IMSR
+from .imsr_replay import IMSRReplay
+
+STRATEGY_REGISTRY = {
+    "FT": FineTune,
+    "FR": FullRetrain,
+    "SML": SML,
+    "ADER": ADER,
+    "IMSR": IMSR,
+    "EWC": EWC,
+    "IMSR+Replay": IMSRReplay,
+}
+
+__all__ = [
+    "IncrementalStrategy",
+    "TrainConfig",
+    "UserPayload",
+    "build_payloads",
+    "FineTune",
+    "FullRetrain",
+    "SML",
+    "ADER",
+    "IMSR",
+    "EWC",
+    "IMSRReplay",
+    "STRATEGY_REGISTRY",
+]

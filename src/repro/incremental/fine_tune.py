@@ -1,0 +1,30 @@
+"""Fine-tuning (FT): inherit parameters, train on new interactions only.
+
+The vanilla incremental baseline from Section III.  It forgets existing
+interests over time (the paper's Figure 4) because nothing constrains how
+far previously learned interests drift.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .strategy import IncrementalStrategy, build_payloads
+
+
+class FineTune(IncrementalStrategy):
+    """Inherit ``W^{t-1}`` and fine-tune with span ``t``'s data."""
+
+    name = "FT"
+
+    def train_span(self, t: int) -> float:
+        span = self.split.spans[t - 1]
+        for user in span.user_ids():
+            self.states[user].begin_span()
+        payloads = build_payloads(span, self.config)
+        start = time.perf_counter()
+        self._train(payloads, epochs=self.config.epochs_incremental)
+        elapsed = time.perf_counter() - start
+        self._refresh_snapshots(span)
+        self.train_times[t] = elapsed
+        return elapsed

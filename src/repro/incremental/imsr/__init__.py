@@ -1,0 +1,37 @@
+"""IMSR: existing-interests retainer, new-interests detector, trimmer."""
+
+from .eir import euclidean_retention_loss, sigmoid_distillation_loss
+from .nid import (
+    detect_new_interests,
+    kl_from_uniform,
+    mean_puzzlement,
+    puzzlement,
+    puzzled_users,
+)
+from .pit import (
+    orthogonal_residual,
+    project_new_interests,
+    projection_matrix,
+    redundancy_report,
+    trim_mask,
+)
+from .variants import RETAINERS, get_retainer
+from .framework import IMSR
+
+__all__ = [
+    "IMSR",
+    "sigmoid_distillation_loss",
+    "euclidean_retention_loss",
+    "puzzlement",
+    "kl_from_uniform",
+    "mean_puzzlement",
+    "detect_new_interests",
+    "puzzled_users",
+    "projection_matrix",
+    "orthogonal_residual",
+    "project_new_interests",
+    "trim_mask",
+    "redundancy_report",
+    "RETAINERS",
+    "get_retainer",
+]

@@ -1,0 +1,249 @@
+"""Base class and shared training loop for incremental learning strategies.
+
+Every strategy (FR, FT, SML, ADER, IMSR, and the ablation variants) shares
+the same skeleton, mirroring the paper's protocol:
+
+1. ``pretrain()`` on the ``[0, alpha*Z]`` window;
+2. for each incremental span ``t``: ``train_span(t)`` using (at least) the
+   span's new interactions;
+3. after each span, user interest snapshots are refreshed and the model is
+   evaluated on span ``t+1``'s test items (handled by the experiment
+   runner via :meth:`score_user`).
+
+The paper trains each user by splitting their in-span interactions into a
+historical part (interests are extracted from it) and a target-item set
+(all scored against those interests) — see Section IV-E.  That split is
+what :class:`UserPayload` captures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.sampler import NegativeSampler
+from ..data.schema import SpanDataset, TemporalSplit
+from ..models.base import MSRModel, UserState
+from ..nn import Adam, clip_grad_norm
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters shared by all strategies."""
+
+    epochs_pretrain: int = 12
+    epochs_incremental: int = 4
+    lr: float = 0.02
+    num_negatives: int = 10
+    #: fraction of a user's in-span items used as extraction history;
+    #: the remainder become the target set (paper Section IV-E)
+    history_fraction: float = 0.5
+    grad_clip: float = 5.0
+    seed: int = 0
+    #: cap on per-user targets per span (keeps epochs bounded)
+    max_targets: int = 24
+    #: stop an epoch loop early when validation HR@20 stops improving
+    #: (the paper performs early stopping during training)
+    early_stopping: bool = False
+    patience: int = 2
+
+
+@dataclass
+class UserPayload:
+    """One user's training material for one span."""
+
+    user: int
+    history: List[int]
+    targets: List[int]
+
+
+def build_payloads(span: SpanDataset, config: TrainConfig,
+                   include_val: bool = True) -> List[UserPayload]:
+    """Split each user's in-span items into history + target set."""
+    payloads: List[UserPayload] = []
+    for user in span.user_ids():
+        data = span.users[user]
+        items = list(data.train_items)
+        if include_val and data.val_item is not None:
+            items.append(data.val_item)
+        if len(items) < 2:
+            continue
+        cut = max(1, int(round(len(items) * config.history_fraction)))
+        cut = min(cut, len(items) - 1)
+        targets = items[cut:]
+        if len(targets) > config.max_targets:
+            targets = targets[-config.max_targets:]
+        payloads.append(UserPayload(user=user, history=items[:cut], targets=targets))
+    return payloads
+
+
+def merge_payload_items(*payload_lists: Sequence[UserPayload]) -> Dict[int, List[int]]:
+    """Per-user concatenation of history+targets across payload lists."""
+    merged: Dict[int, List[int]] = {}
+    for payloads in payload_lists:
+        for p in payloads:
+            merged.setdefault(p.user, []).extend(p.history + p.targets)
+    return merged
+
+
+class IncrementalStrategy:
+    """Skeleton for the compared learning strategies."""
+
+    name = "base"
+
+    def __init__(self, model: MSRModel, split: TemporalSplit, config: TrainConfig):
+        self.model = model
+        self.split = split
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.sampler = NegativeSampler(
+            split.num_items, num_negatives=config.num_negatives,
+            rng=np.random.default_rng(config.seed + 1),
+        )
+        all_users = self._all_user_ids()
+        self.states: Dict[int, UserState] = model.init_all_users(all_users)
+        #: wall-clock seconds per training call, keyed by span (0 = pretrain)
+        self.train_times: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def _all_user_ids(self) -> List[int]:
+        users = set(self.split.pretrain.users)
+        for span in self.split.spans:
+            users.update(span.users)
+        return sorted(users)
+
+    # ------------------------------------------------------------------ #
+    # public protocol
+    # ------------------------------------------------------------------ #
+    def pretrain(self) -> float:
+        """Train the base model on the pre-training window."""
+        payloads = build_payloads(self.split.pretrain, self.config)
+        start = time.perf_counter()
+        self._train(payloads, epochs=self.config.epochs_pretrain)
+        elapsed = time.perf_counter() - start
+        self._refresh_snapshots(self.split.pretrain)
+        self.train_times[0] = elapsed
+        return elapsed
+
+    def train_span(self, t: int) -> float:
+        """Update the model with span ``t`` (1-based).  Returns seconds."""
+        raise NotImplementedError
+
+    def score_user(self, user: int) -> np.ndarray:
+        """Catalog scores for evaluation (max over stored interests)."""
+        return self.model.score_all_items(self.states[user])
+
+    def interest_counts(self) -> Dict[int, int]:
+        return {u: s.num_interests for u, s in self.states.items()}
+
+    # ------------------------------------------------------------------ #
+    # shared training machinery
+    # ------------------------------------------------------------------ #
+    def _optimizer(self, payloads: Sequence[UserPayload]) -> Adam:
+        params = list(self.model.parameters())
+        involved = [self.states[p.user] for p in payloads]
+        params.extend(self.model.user_parameters(involved))
+        return Adam(params, lr=self.config.lr)
+
+    def _train(
+        self,
+        payloads: Sequence[UserPayload],
+        epochs: int,
+        loss_hook: Optional[Callable[[UserState, Tensor, UserPayload], Optional[Tensor]]] = None,
+        epoch_hook: Optional[Callable[[int, UserPayload], None]] = None,
+        interests_hook: Optional[Callable[[UserState, Tensor], Tensor]] = None,
+        optimizer: Optional[Adam] = None,
+        val_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """The core loop: per user, extract interests once and score all
+        the user's targets (paper Section IV-E).
+
+        ``loss_hook(state, interests, payload)`` may return an extra loss
+        term (e.g. EIR's distillation).  ``epoch_hook(epoch, payload)``
+        runs before each user's step (IMSR's IntsEx).  ``interests_hook``
+        post-processes the extracted interests in-graph (PIT projection).
+        ``val_fn`` (or the config's ``early_stopping`` default, which
+        scores the payloads' validation split) enables early stopping.
+        """
+        if not payloads:
+            return
+        opt = optimizer or self._optimizer(payloads)
+        order = list(payloads)
+        best_val = -np.inf
+        stale_epochs = 0
+        for epoch in range(epochs):
+            self.rng.shuffle(order)
+            for payload in order:
+                state = self.states[payload.user]
+                if epoch_hook is not None:
+                    epoch_hook(epoch, payload)
+                    opt = self._sync_optimizer(opt, state)
+                interests = self.model.compute_interests(state, payload.history)
+                if interests_hook is not None:
+                    interests = interests_hook(state, interests)
+                negatives = np.stack(
+                    [self.sampler.sample(t) for t in payload.targets]
+                )
+                loss = self.model.loss_targets(interests, payload.targets, negatives)
+                if loss_hook is not None:
+                    extra = loss_hook(state, interests, payload)
+                    if extra is not None:
+                        loss = loss + extra
+                if not np.isfinite(loss.data).all():
+                    # failure containment: a non-finite loss (degenerate
+                    # negatives, exploded logits) must not poison the
+                    # parameters — skip this user's step
+                    continue
+                opt.zero_grad()
+                loss.backward()
+                clip_grad_norm(opt.params, self.config.grad_clip)
+                opt.step()
+                self.model.item_emb.zero_padding_row()
+                state.interests = interests.data.copy()
+            if val_fn is not None or self.config.early_stopping:
+                score = val_fn() if val_fn is not None else (
+                    self._payload_val_score(payloads))
+                if score > best_val + 1e-9:
+                    best_val = score
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= self.config.patience:
+                        break
+
+    def _payload_val_score(self, payloads: Sequence[UserPayload]) -> float:
+        """Mean HR@20 of each payload's last target against the catalog —
+        the cheap validation signal used for early stopping."""
+        from ..eval.metrics import hit_at_k, rank_of_target
+
+        hits = []
+        emb = self.model.item_emb.weight.data
+        for payload in payloads:
+            state = self.states[payload.user]
+            scores = (emb @ state.interests.T).max(axis=1)
+            rank = rank_of_target(scores, payload.targets[-1])
+            hits.append(hit_at_k(rank))
+        return float(np.mean(hits)) if hits else 0.0
+
+    def _sync_optimizer(self, opt: Adam, state: UserState) -> Adam:
+        """Ensure a user's (possibly re-created) SA weights are optimized."""
+        if state.sa_weights is not None and state.sa_weights not in opt.params:
+            opt.add_param(state.sa_weights)
+        return opt
+
+    def _refresh_snapshots(self, span: SpanDataset,
+                           interests_hook: Optional[Callable] = None) -> None:
+        """Re-extract and store interests from each user's span items."""
+        for user in span.user_ids():
+            items = span.users[user].all_items
+            if not items:
+                continue
+            state = self.states[user]
+            interests = self.model.compute_interests(state, items)
+            if interests_hook is not None:
+                interests = interests_hook(state, interests)
+            state.interests = interests.data.copy()

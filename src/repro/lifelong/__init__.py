@@ -1,0 +1,6 @@
+"""Lifelong MSR baselines for the paper's Table IV."""
+
+from .mimn import MIMN
+from .limarec import LimaRec, LimaRecModel
+
+__all__ = ["MIMN", "LimaRec", "LimaRecModel"]

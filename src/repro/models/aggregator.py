@@ -1,0 +1,47 @@
+"""Target-attentive interest aggregation (paper Eq. 5) and item scoring.
+
+Training uses the target-aware aggregation: the target item embedding acts
+as a query over the user's interests, ``v_u = Σ_k β_k h_k`` with
+``β = softmax(e_aᵀ h_k)``.  Inference cannot see the target, so retrieval
+follows MSR practice (MIND/ComiRec): an item's score is its best match
+across interests, ``score(i) = max_k h_kᵀ e_i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.ops import softmax
+
+
+def aggregate_interests(interests: Tensor, target_emb: Tensor) -> Tensor:
+    """Eq. 5: attention-weighted sum of interest vectors.
+
+    ``interests`` is (K, d); ``target_emb`` is (d,).  Returns ``v_u`` (d,).
+    """
+    logits = interests @ target_emb  # (K,)
+    beta = softmax(logits, axis=0)
+    return beta @ interests
+
+
+def attention_scores(interests: np.ndarray, target_emb: np.ndarray) -> np.ndarray:
+    """Softmax attention of a target item over interests (numpy, no grad).
+
+    Used by the Fig. 7(c) case study: which (possibly early-created)
+    interest wins the attention for a later target item.
+    """
+    logits = interests @ target_emb
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def score_items(interests: np.ndarray, item_embeddings: np.ndarray) -> np.ndarray:
+    """Max-over-interests retrieval scores for every item (numpy, no grad).
+
+    ``interests`` (K, d) x ``item_embeddings`` (N, d) -> (N,) scores.
+    """
+    if interests.size == 0:
+        return np.zeros(item_embeddings.shape[0])
+    return (item_embeddings @ interests.T).max(axis=1)

@@ -1,0 +1,122 @@
+"""Batched no-grad interest extraction — the inference fast path.
+
+Serving an incremental MSR system means periodically re-extracting every
+user's interest matrix (snapshot refreshes, nightly index rebuilds).
+The training path extracts per user (sequence lengths and interest
+counts K_u vary — the whole point of IMSR), but for *inference* the
+per-user Python overhead dominates; this module runs B2I dynamic routing
+for a whole batch of users at once with padding masks over both the item
+axis (variable sequence length) and the capsule axis (variable K_u).
+
+Numerically identical to per-user :func:`repro.models.routing.b2i_routing`
+(verified in the test suite) for deterministic extractors (ComiRec-DR);
+MIND's random routing logits make its extraction non-deterministic, so
+the batched path accepts explicit ``init_logits`` instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import MSRModel, UserState
+from .comirec_dr import ComiRecDR
+from .routing import squash_np
+
+_NEG = -1e30  # additive mask for padded positions
+
+
+def _pad_batch(
+    model: MSRModel,
+    jobs: Sequence[Tuple[UserState, Sequence[int]]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int]]:
+    """Build padded (B, n, d) transformed items, (B, n) item mask,
+    (B, K, d) initial capsules and (B, K) capsule mask."""
+    emb = model.item_emb.weight.data
+    transform = model.transform.data  # (d, d); ComiRec-DR only
+    batch = len(jobs)
+    n_max = max(len(seq) for _, seq in jobs)
+    k_max = max(state.num_interests for state, _ in jobs)
+    dim = model.dim
+
+    e_hat = np.zeros((batch, n_max, dim))
+    item_mask = np.zeros((batch, n_max), dtype=bool)
+    capsules0 = np.zeros((batch, k_max, dim))
+    capsule_mask = np.zeros((batch, k_max), dtype=bool)
+    ks: List[int] = []
+    for b, (state, seq) in enumerate(jobs):
+        n = len(seq)
+        k = state.num_interests
+        e_hat[b, :n] = emb[np.asarray(seq, dtype=np.int64)] @ transform.T
+        item_mask[b, :n] = True
+        capsules0[b, :k] = state.interests
+        capsule_mask[b, :k] = True
+        ks.append(k)
+    return e_hat, item_mask, capsules0, capsule_mask, ks
+
+
+def _masked_softmax_over_items(logits: np.ndarray,
+                               item_mask: np.ndarray) -> np.ndarray:
+    """Softmax over axis 1 (items) of (B, n, K) logits, masking padding."""
+    masked = np.where(item_mask[:, :, None], logits, _NEG)
+    shifted = masked - masked.max(axis=1, keepdims=True)
+    exp = np.exp(shifted) * item_mask[:, :, None]
+    denom = exp.sum(axis=1, keepdims=True)
+    return exp / np.maximum(denom, 1e-30)
+
+
+def batched_extract_dr(
+    model: ComiRecDR,
+    jobs: Sequence[Tuple[UserState, Sequence[int]]],
+    iterations: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Batched B2I routing for ComiRec-DR (no-grad inference).
+
+    Parameters
+    ----------
+    model:
+        A :class:`ComiRecDR` (the deterministic DR extractor).
+    jobs:
+        ``(user_state, item_sequence)`` pairs; sequences and interest
+        counts may differ per user.
+
+    Returns per-job ``(K_u, d)`` interest matrices, matching what
+    ``model.compute_interests(state, seq).data`` produces.
+    """
+    if not isinstance(model, ComiRecDR):
+        raise TypeError("batched_extract_dr requires a ComiRecDR model")
+    if model.routing_normalize != "items":
+        raise ValueError("batched path implements the 'items' convention only")
+    if not jobs:
+        return []
+    for _, seq in jobs:
+        if len(seq) == 0:
+            raise ValueError("cannot extract interests from an empty sequence")
+    iterations = iterations or model.routing_iterations
+
+    e_hat, item_mask, capsules, capsule_mask, ks = _pad_batch(model, jobs)
+    # (B, n, K) votes against the warm-start capsules
+    logits = np.einsum("bnd,bkd->bnk", e_hat, capsules)
+    for step in range(iterations):
+        coupling = _masked_softmax_over_items(logits, item_mask)
+        pooled = np.einsum("bnk,bnd->bkd", coupling, e_hat)
+        capsules = squash_np(pooled)
+        if step < iterations - 1:
+            logits = logits + np.einsum("bnd,bkd->bnk", e_hat, capsules)
+
+    return [capsules[b, :k] for b, k in enumerate(ks)]
+
+
+def batched_snapshot_refresh(
+    model: ComiRecDR,
+    states_and_seqs: Sequence[Tuple[UserState, Sequence[int]]],
+) -> None:
+    """Refresh many users' stored interests in one batched pass.
+
+    Equivalent to calling ``model.snapshot_interests`` per user but with
+    a single set of vectorized routing iterations.
+    """
+    jobs = [(s, seq) for s, seq in states_and_seqs if len(seq) > 0]
+    for (state, _), interests in zip(jobs, batched_extract_dr(model, jobs)):
+        state.interests = interests.copy()

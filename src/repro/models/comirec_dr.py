@@ -1,0 +1,56 @@
+"""ComiRec-DR (Cen et al., KDD 2020) — dynamic-routing MSR base model.
+
+Uses a shared affine transformation (Eq. 3) and B2I dynamic routing with
+zero-initialized extra routing logits (the warm start comes from the
+user's stored interests, which is how the incremental framework keeps
+existing interests alive through re-extraction).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..autograd import Tensor
+from ..nn import Parameter, init
+from .base import MSRModel, UserState
+from .routing import b2i_routing
+
+
+class ComiRecDR(MSRModel):
+    """Dynamic-routing multi-interest extractor with a shared affine map.
+
+    ``routing_normalize`` and ``warm_start`` expose the two substrate
+    design choices DESIGN.md documents, so the ablation benchmark can
+    flip them: vote normalization across items (paper text) vs capsules
+    (reference code), and warm-starting routing from the user's stored
+    interests (the incremental carry-over mechanism) vs fresh random
+    capsules per extraction.
+    """
+
+    family = "dr"
+
+    def __init__(self, num_items: int, dim: int = 32, num_interests: int = 4,
+                 routing_iterations: int = 3, seed: int = 0,
+                 routing_normalize: str = "items", warm_start: bool = True):
+        super().__init__(num_items, dim=dim, num_interests=num_interests, seed=seed)
+        self.routing_iterations = routing_iterations
+        self.routing_normalize = routing_normalize
+        self.warm_start = warm_start
+        self.transform = Parameter(init.xavier_uniform((dim, dim), self.rng))
+
+    def compute_interests(self, state: UserState, item_seq: Sequence[int]) -> Tensor:
+        if len(item_seq) == 0:
+            raise ValueError("cannot extract interests from an empty sequence")
+        embs = self.embed_items(item_seq)          # (n, d)
+        e_hat = embs @ self.transform.T            # Eq. 3
+        if self.warm_start:
+            init_interests = state.interests
+        else:
+            init_interests = self._random_interests(state.num_interests)
+        return b2i_routing(
+            e_hat,
+            init_interests=init_interests,
+            iterations=self.routing_iterations,
+            init_logits=None,                      # ComiRec-DR: zero extra logits
+            normalize=self.routing_normalize,
+        )

@@ -1,0 +1,48 @@
+"""MIND (Li et al., CIKM 2019) — dynamic-routing MSR base model.
+
+Differs from ComiRec-DR in two ways the paper calls out: the item
+transformation is a *shared bilinear mapping* matrix, and the routing
+logits are initialized **randomly** (fixed per extraction, not trained),
+which breaks the symmetry between capsules.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Parameter, init
+from .base import MSRModel, UserState
+from .routing import b2i_routing
+
+
+class MIND(MSRModel):
+    """Dynamic-routing extractor with random initial routing logits."""
+
+    family = "dr"
+
+    def __init__(self, num_items: int, dim: int = 32, num_interests: int = 4,
+                 routing_iterations: int = 3, logit_std: float = 1.0, seed: int = 0):
+        super().__init__(num_items, dim=dim, num_interests=num_interests, seed=seed)
+        self.routing_iterations = routing_iterations
+        self.logit_std = logit_std
+        self.bilinear = Parameter(init.xavier_uniform((dim, dim), self.rng))
+        # Dedicated stream so logit sampling does not perturb other seeding.
+        self._logit_rng = np.random.default_rng(seed + 7919)
+
+    def compute_interests(self, state: UserState, item_seq: Sequence[int]) -> Tensor:
+        if len(item_seq) == 0:
+            raise ValueError("cannot extract interests from an empty sequence")
+        embs = self.embed_items(item_seq)
+        e_hat = embs @ self.bilinear.T
+        init_logits = self._logit_rng.normal(
+            0.0, self.logit_std, size=(len(item_seq), state.num_interests)
+        )
+        return b2i_routing(
+            e_hat,
+            init_interests=state.interests,
+            iterations=self.routing_iterations,
+            init_logits=init_logits,
+        )

@@ -1,0 +1,66 @@
+"""Sampled-softmax next-item loss (paper Eq. 6).
+
+The preference score of item ``i`` is ``v_uᵀ e_i`` where ``v_u`` is the
+target-attentive aggregation of the user's interests.  The loss contrasts
+the target against a small uniformly sampled negative set and minimizes the
+negative log-likelihood.
+"""
+
+from __future__ import annotations
+
+from ..autograd import Tensor, concat
+from ..autograd.ops import log_softmax
+from .aggregator import aggregate_interests
+
+
+def sampled_softmax_loss(
+    interests: Tensor,
+    target_emb: Tensor,
+    negative_embs: Tensor,
+) -> Tensor:
+    """Negative log-likelihood of the target under sampled softmax.
+
+    Parameters
+    ----------
+    interests:
+        (K, d) user interest matrix (differentiable).
+    target_emb:
+        (d,) target item embedding.
+    negative_embs:
+        (num_neg, d) sampled negative item embeddings.
+
+    Returns a scalar Tensor.
+    """
+    v_u = aggregate_interests(interests, target_emb)  # (d,)
+    pos_logit = (v_u * target_emb).sum().reshape(1)
+    neg_logits = negative_embs @ v_u  # (num_neg,)
+    logits = concat([pos_logit, neg_logits], axis=0)
+    return -log_softmax(logits, axis=0)[0]
+
+
+def batch_sampled_softmax_loss(
+    interests: Tensor,
+    target_embs: Tensor,
+    negative_embs: Tensor,
+) -> Tensor:
+    """Mean sampled-softmax loss over several targets of the *same* user.
+
+    The paper splits each user's in-span interactions into a history part
+    (interests are extracted from it once) and a target set; all targets
+    share the same interest matrix.  ``target_embs`` is (m, d) and
+    ``negative_embs`` is (m, num_neg, d).
+    """
+    m = target_embs.shape[0]
+    att = target_embs @ interests.T  # (m, K)
+    beta = _softmax_rows(att)
+    v = beta @ interests  # (m, d) — per-target aggregated user vector
+    pos = (v * target_embs).sum(axis=1).reshape(m, 1)  # (m, 1)
+    neg = (negative_embs @ v.reshape(m, -1, 1)).squeeze(-1)  # (m, num_neg)
+    logits = concat([pos, neg], axis=1)  # (m, 1 + num_neg)
+    return -log_softmax(logits, axis=1)[:, 0].mean()
+
+
+def _softmax_rows(x: Tensor) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=1, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,18 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`."""
+
+from .module import Module, Parameter
+from .layers import Embedding, Linear
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from . import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Embedding",
+    "Linear",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+    "init",
+]

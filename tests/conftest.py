@@ -1,0 +1,55 @@
+"""Shared fixtures: tiny deterministic worlds, splits, and models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import WorldConfig, generate_world, split_time_spans
+from repro.incremental import TrainConfig
+from repro.models import ComiRecDR, ComiRecSA, MIND
+
+
+TINY_CONFIG = WorldConfig(
+    num_users=16,
+    num_items=80,
+    num_topics=8,
+    init_topics_per_user=(2, 3),
+    new_topic_rate=0.6,
+    num_spans=4,
+    pretrain_events_per_user=(16, 24),
+    span_events_per_user=(6, 10),
+    initial_catalog_fraction=0.8,
+    span_activity=0.9,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    return generate_world(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_world):
+    return split_time_spans(
+        tiny_world.interactions, num_items=TINY_CONFIG.num_items,
+        T=TINY_CONFIG.num_spans, alpha=0.5,
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def train_config():
+    return TrainConfig(epochs_pretrain=2, epochs_incremental=2,
+                       lr=0.05, num_negatives=5, seed=0)
+
+
+@pytest.fixture(params=["MIND", "ComiRec-DR", "ComiRec-SA"])
+def any_model(request, tiny_split):
+    cls = {"MIND": MIND, "ComiRec-DR": ComiRecDR, "ComiRec-SA": ComiRecSA}
+    return cls[request.param](tiny_split.num_items, dim=12, num_interests=3, seed=1)

@@ -1,0 +1,100 @@
+"""Edge-case tests for the autograd engine not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, is_grad_enabled, no_grad
+from repro.autograd.grad_check import numerical_gradient
+
+
+class TestGradMode:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_nested_no_grad_restores(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_after_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_tensor_created_in_no_grad_never_requires(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestScalarAndShapeEdges:
+    def test_zero_d_tensor(self):
+        t = Tensor(3.0, requires_grad=True)
+        (t * t).backward()
+        assert float(t.grad) == pytest.approx(6.0)
+
+    def test_sqrt(self):
+        t = Tensor([4.0], requires_grad=True)
+        t.sqrt().backward(np.ones(1))
+        assert t.grad[0] == pytest.approx(0.25)
+
+    def test_norm_of_zero_vector_finite_grad(self):
+        t = Tensor(np.zeros(3), requires_grad=True)
+        t.norm().backward()
+        assert np.isfinite(t.grad).all()
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_detach_shares_data(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        d.data[0] = 5.0
+        assert t.data[0] == 5.0  # view semantics, like torch
+
+    def test_reshape_tuple_and_varargs(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_with_axes(self):
+        t = Tensor(np.zeros((2, 3, 4)), requires_grad=True)
+        out = t.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert t.grad.shape == (2, 3, 4)
+
+    def test_numpy_returns_underlying(self):
+        t = Tensor([1.0])
+        assert t.numpy() is t.data
+
+
+class TestNumericalGradientHelper:
+    def test_matches_simple_analytic(self):
+        x = Tensor([2.0, -1.0])
+        grad = numerical_gradient(lambda t: (t * t).sum(), [x], wrt=0)
+        assert np.allclose(grad, [4.0, -2.0], atol=1e-5)
+
+
+class TestArrayPriority:
+    def test_numpy_scalar_left_operand(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = np.float64(2.0) * t
+        assert isinstance(out, Tensor)
+        out.sum().backward()
+        assert np.allclose(t.grad, 2.0)
+
+    def test_numpy_array_left_operand(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = np.array([3.0, 4.0]) + t
+        assert isinstance(out, Tensor)
+        assert np.allclose(out.data, [4.0, 6.0])

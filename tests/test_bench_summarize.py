@@ -1,0 +1,56 @@
+"""Tests for the benchmark-output summarizer."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_summarize",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "summarize.py",
+)
+summarize = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(summarize)
+
+SAMPLE = """\
+===== Table III: performance comparison =====
+some table rows
+3/5 shape checks hold
+.
+===== Figure 4: trends =====
+1/1 shape checks hold
+"""
+
+
+class TestParse:
+    def test_sections_parsed(self):
+        sections = summarize.parse_sections(SAMPLE)
+        assert sections == [
+            ("Table III: performance comparison", 3, 5),
+            ("Figure 4: trends", 1, 1),
+        ]
+
+    def test_ignores_unmatched_tallies(self):
+        text = "4/4 shape checks hold\n"
+        assert summarize.parse_sections(text) == []
+
+    def test_markdown_totals(self):
+        md = summarize.to_markdown([("A", 1, 2), ("B", 2, 2)])
+        assert "| A | 1/2 |" in md
+        assert "**3/4**" in md
+
+    def test_main_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "bench.txt"
+        path.write_text(SAMPLE)
+        assert summarize.main(["summarize.py", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_main_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("nothing here")
+        assert summarize.main(["summarize.py", str(path)]) == 1
+
+    def test_main_usage(self):
+        assert summarize.main(["summarize.py"]) == 2

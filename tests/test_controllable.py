@@ -1,0 +1,86 @@
+"""Tests for the controllable diversity-aware readout (ComiRec module)."""
+
+import numpy as np
+import pytest
+
+from repro.models import category_diversity, greedy_controllable_selection, recommend
+from repro.models.controllable import greedy_controllable_selection as greedy
+
+
+@pytest.fixture()
+def toy():
+    # 6 items: scores descending; first four share category 0
+    scores = np.array([0.9, 0.8, 0.7, 0.6, 0.5, 0.4])
+    categories = np.array([0, 0, 0, 0, 1, 2])
+    return scores, categories
+
+
+class TestGreedySelection:
+    def test_lambda_zero_is_topn(self, toy):
+        scores, categories = toy
+        assert greedy(scores, categories, n=3, diversity_weight=0.0) == [0, 1, 2]
+
+    def test_diversity_pulls_in_other_categories(self, toy):
+        scores, categories = toy
+        selected = greedy(scores, categories, n=3, diversity_weight=1.0)
+        assert len({categories[i] for i in selected}) >= 2
+
+    def test_large_lambda_maximizes_category_coverage(self, toy):
+        scores, categories = toy
+        selected = greedy(scores, categories, n=3, diversity_weight=100.0)
+        assert {int(categories[i]) for i in selected} == {0, 1, 2}
+
+    def test_first_pick_is_best_item(self, toy):
+        scores, categories = toy
+        selected = greedy(scores, categories, n=3, diversity_weight=5.0)
+        assert selected[0] == 0  # no diversity bonus exists for the first pick
+
+    def test_n_larger_than_catalog(self, toy):
+        scores, categories = toy
+        selected = greedy(scores, categories, n=100, diversity_weight=0.5)
+        assert sorted(selected) == list(range(6))
+
+    def test_bad_n_rejected(self, toy):
+        scores, categories = toy
+        with pytest.raises(ValueError):
+            greedy(scores, categories, n=0)
+
+    def test_candidate_pool_restricts(self, toy):
+        scores, categories = toy
+        selected = greedy(scores, categories, n=3, diversity_weight=100.0,
+                          candidate_pool=3)
+        assert set(selected) <= {0, 1, 2}
+
+
+class TestRecommend:
+    def test_plain_topn(self, rng):
+        interests = rng.normal(size=(3, 8))
+        items = rng.normal(size=(50, 8))
+        out = recommend(interests, items, n=10)
+        scores = (items @ interests.T).max(axis=1)
+        expected = np.argsort(-scores)[:10].tolist()
+        assert out == expected
+
+    def test_diversity_changes_list(self, rng):
+        interests = rng.normal(size=(2, 8))
+        items = rng.normal(size=(60, 8))
+        categories = rng.integers(0, 3, size=60)
+        plain = recommend(interests, items, categories, n=10,
+                          diversity_weight=0.0)
+        diverse = recommend(interests, items, categories, n=10,
+                            diversity_weight=2.0)
+        assert category_diversity(diverse, categories) >= (
+            category_diversity(plain, categories) - 1e-9)
+
+
+class TestCategoryDiversity:
+    def test_single_category_zero(self):
+        categories = np.zeros(10, dtype=int)
+        assert category_diversity([0, 1, 2], categories) == 0.0
+
+    def test_all_distinct_one(self):
+        categories = np.arange(10)
+        assert category_diversity([0, 1, 2], categories) == 1.0
+
+    def test_short_list_zero(self):
+        assert category_diversity([3], np.arange(10)) == 0.0

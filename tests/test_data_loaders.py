@@ -1,0 +1,104 @@
+"""Tests for the real-dataset CSV loaders."""
+
+import pytest
+
+from repro.data import load_amazon_ratings, load_taobao_userbehavior, split_time_spans
+
+
+AMAZON_CSV = """\
+A1,B001,5.0,1300000000
+A1,B002,4.0,1300100000
+A1,B003,3.0,1300200000
+A2,B001,5.0,1300050000
+A2,B004,1.0,1300150000
+A3,B009,2.0,1300300000
+"""
+
+TAOBAO_CSV = """\
+1,100,77,pv,1511544070
+1,101,77,buy,1511544080
+1,102,78,pv,1511544090
+2,100,77,pv,1511544100
+2,103,79,cart,1511544110
+2,104,79,pv,1511544120
+"""
+
+
+@pytest.fixture()
+def amazon_file(tmp_path):
+    path = tmp_path / "ratings_Electronics.csv"
+    path.write_text(AMAZON_CSV)
+    return path
+
+
+@pytest.fixture()
+def taobao_file(tmp_path):
+    path = tmp_path / "UserBehavior.csv"
+    path.write_text(TAOBAO_CSV)
+    return path
+
+
+class TestAmazonLoader:
+    def test_parses_all_rows(self, amazon_file):
+        data = load_amazon_ratings(amazon_file, min_user_interactions=0)
+        assert len(data.interactions) == 6
+        assert data.num_users == 3
+        assert data.num_items == 5
+
+    def test_dense_reindexing(self, amazon_file):
+        data = load_amazon_ratings(amazon_file, min_user_interactions=0)
+        users = {e.user for e in data.interactions}
+        items = {e.item for e in data.interactions}
+        assert users == set(range(data.num_users))
+        assert items == set(range(data.num_items))
+
+    def test_min_interactions_filter(self, amazon_file):
+        data = load_amazon_ratings(amazon_file, min_user_interactions=3)
+        assert data.num_users == 1  # only A1 has 3 interactions
+        assert len(data.interactions) == 3
+
+    def test_chronological_order(self, amazon_file):
+        data = load_amazon_ratings(amazon_file, min_user_interactions=0)
+        ts = [e.timestamp for e in data.interactions]
+        assert ts == sorted(ts)
+
+    def test_max_rows(self, amazon_file):
+        data = load_amazon_ratings(amazon_file, min_user_interactions=0,
+                                   max_rows=2)
+        assert len(data.interactions) == 2
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("A1,B001,5.0,notatime\nA1,B002\nA2,B001,1.0,123\n")
+        data = load_amazon_ratings(path, min_user_interactions=0)
+        assert len(data.interactions) == 1
+
+    def test_feeds_timespan_splitter(self, amazon_file):
+        data = load_amazon_ratings(amazon_file, min_user_interactions=0)
+        split = split_time_spans(data.interactions, num_items=data.num_items,
+                                 T=2, alpha=0.5)
+        assert split.T == 2
+        assert split.num_users == 3
+
+
+class TestTaobaoLoader:
+    def test_default_keeps_clicks_only(self, taobao_file):
+        data = load_taobao_userbehavior(taobao_file, min_user_interactions=0)
+        assert len(data.interactions) == 4  # pv rows only
+
+    def test_behavior_filter_configurable(self, taobao_file):
+        data = load_taobao_userbehavior(taobao_file, min_user_interactions=0,
+                                        behaviors=("pv", "buy", "cart"))
+        assert len(data.interactions) == 6
+
+    def test_min_interactions_applied_after_behavior_filter(self, taobao_file):
+        data = load_taobao_userbehavior(taobao_file, min_user_interactions=2)
+        assert data.num_users == 2  # both users have exactly 2 pv rows
+
+    def test_reindexing_shared_items(self, taobao_file):
+        data = load_taobao_userbehavior(taobao_file, min_user_interactions=0)
+        # item "100" clicked by both users maps to a single id
+        first = data.item_index["100"]
+        hits = [e for e in data.interactions if e.item == first]
+        assert len(hits) == 2
+        assert {e.user for e in hits} == {0, 1}

@@ -1,0 +1,53 @@
+"""The examples must stay parseable and built on the public API only.
+
+Executing the examples takes minutes (they run real experiments), so the
+test suite verifies their structure instead: they parse, they import
+only public `repro` surfaces, and they expose a ``main()`` guarded by
+``__main__``.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExamples:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_main_guard(self, path):
+        tree = ast.parse(path.read_text())
+        has_main = any(
+            isinstance(node, ast.FunctionDef) and node.name == "main"
+            for node in tree.body
+        )
+        has_guard = any(
+            isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+            and getattr(node.test.left, "id", "") == "__name__"
+            for node in tree.body
+        )
+        assert has_main and has_guard
+
+    def test_imports_resolve(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                module = __import__(node.module, fromlist=["_"])
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )
+
+    def test_has_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+
+
+def test_at_least_four_examples():
+    assert len(EXAMPLES) >= 4

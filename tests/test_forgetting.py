@@ -1,0 +1,119 @@
+"""Tests for the forgetting-analysis toolkit and cold-start generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import WorldConfig, generate_world, load_custom
+from repro.eval import ForgettingReport, compare_forgetting, forgetting_analysis
+from repro.experiments import make_strategy
+from repro.incremental import TrainConfig
+
+
+class TestForgettingReport:
+    def make(self, matrix):
+        m = np.asarray(matrix, dtype=np.float64)
+        return ForgettingReport(matrix=m, spans=list(range(1, len(m) + 1)))
+
+    def test_backward_transfer_negative_on_decay(self):
+        # span 1 drops 0.4 -> 0.2 after later training
+        matrix = [
+            [0.1, np.nan, np.nan],
+            [0.4, 0.3, np.nan],
+            [0.2, 0.3, 0.5],
+        ]
+        report = self.make(matrix)
+        # anchors: R[1,0]=0.4, R[2,1]=0.3; final: 0.2, 0.3
+        assert report.backward_transfer() == pytest.approx((0.2 - 0.4 + 0.0) / 2)
+
+    def test_forgetting_measure_peak_to_final(self):
+        matrix = [
+            [0.1, np.nan, np.nan],
+            [0.5, 0.2, np.nan],
+            [0.3, 0.2, 0.4],
+        ]
+        report = self.make(matrix)
+        assert report.forgetting_measure() == pytest.approx(((0.5 - 0.3) + 0.0) / 2)
+
+    def test_single_span_neutral(self):
+        report = self.make([[0.3]])
+        assert report.backward_transfer() == 0.0
+        assert report.forgetting_measure() == 0.0
+
+    def test_as_rows_masks_future(self):
+        report = self.make([[0.1, np.nan], [0.2, 0.3]])
+        rows = report.as_rows()
+        assert np.isnan(rows[0]["eval s3"])
+        assert rows[1]["eval s2"] == pytest.approx(0.2)
+
+    def test_compare_forgetting_rows(self):
+        report = self.make([[0.1, np.nan], [0.2, 0.3]])
+        rows = compare_forgetting({"FT": report})
+        assert rows[0]["strategy"] == "FT"
+        assert "backward_transfer" in rows[0]
+
+
+class TestForgettingAnalysis:
+    def test_matrix_is_lower_triangular(self, tiny_split):
+        config = TrainConfig(epochs_pretrain=2, epochs_incremental=1, seed=0)
+        strategy = make_strategy("FT", "ComiRec-DR", tiny_split, config,
+                                 model_kwargs={"dim": 10, "num_interests": 2})
+        report = forgetting_analysis(strategy, tiny_split)
+        n = len(report.spans)
+        for i in range(n):
+            for j in range(n):
+                if j <= i:
+                    assert np.isfinite(report.matrix[i, j])
+                else:
+                    assert np.isnan(report.matrix[i, j])
+
+    def test_ft_forgets_more_than_fr(self):
+        config = WorldConfig(num_users=48, num_items=240, num_topics=12,
+                             num_spans=4, span_activity=0.75,
+                             new_topic_rate=0.5, seed=3)
+        _, split = load_custom(config, T=4)
+        cfg = TrainConfig(epochs_pretrain=5, epochs_incremental=2, seed=0)
+        reports = {}
+        for name in ("FT", "FR"):
+            strategy = make_strategy(name, "ComiRec-DR", split, cfg,
+                                     model_kwargs={"dim": 16,
+                                                   "num_interests": 3})
+            reports[name] = forgetting_analysis(strategy, split)
+        assert (reports["FT"].backward_transfer()
+                < reports["FR"].backward_transfer())
+
+
+class TestColdStartGeneration:
+    def make_world(self, fraction):
+        return generate_world(WorldConfig(
+            num_users=24, num_items=120, num_topics=8, num_spans=3,
+            cold_start_fraction=fraction, seed=5))
+
+    def test_zero_fraction_all_users_pretrain(self):
+        world = self.make_world(0.0)
+        pretrain_users = {e.user for e in world.interactions
+                          if e.timestamp < 0.5}
+        assert len(pretrain_users) == 24
+
+    def test_cold_users_absent_from_pretraining(self):
+        world = self.make_world(0.25)
+        pretrain_users = {e.user for e in world.interactions
+                          if e.timestamp < 0.5}
+        assert len(pretrain_users) == 18  # 25% arrive later
+
+    def test_cold_users_eventually_interact(self):
+        world = self.make_world(0.25)
+        all_users = {e.user for e in world.interactions}
+        assert len(all_users) == 24
+
+    def test_pipeline_handles_cold_users(self):
+        config = WorldConfig(num_users=24, num_items=120, num_topics=8,
+                             num_spans=3, cold_start_fraction=0.25, seed=5)
+        _, split = load_custom(config, T=3)
+        cfg = TrainConfig(epochs_pretrain=2, epochs_incremental=1, seed=0)
+        strategy = make_strategy("IMSR", "ComiRec-DR", split, cfg,
+                                 model_kwargs={"dim": 10, "num_interests": 2})
+        strategy.pretrain()
+        for t in range(1, split.T + 1):
+            strategy.train_span(t)
+        for state in strategy.states.values():
+            assert np.isfinite(state.interests).all()

@@ -1,0 +1,122 @@
+"""End-to-end integration tests: full protocol runs at tiny scale.
+
+These verify the whole pipeline (world → split → pretrain → spans →
+evaluation) holds together for every strategy/model pairing, and that a
+handful of robust qualitative facts come out right even at test scale.
+Fine-grained paper-shape checks live in the benchmarks, which run at
+larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import WorldConfig, load_custom
+from repro.experiments import make_strategy, run_strategy
+from repro.incremental import TrainConfig
+from repro.lifelong import LimaRec, LimaRecModel, MIMN
+from repro.models import make_model
+
+
+@pytest.fixture(scope="module")
+def world_and_split():
+    config = WorldConfig(
+        num_users=32, num_items=160, num_topics=10,
+        new_topic_rate=0.5, num_spans=4,
+        pretrain_events_per_user=(20, 30),
+        span_events_per_user=(8, 12),
+        span_activity=0.85, seed=11,
+    )
+    return load_custom(config, T=4)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TrainConfig(epochs_pretrain=4, epochs_incremental=2,
+                       num_negatives=6, seed=0)
+
+
+@pytest.mark.parametrize("strategy_name", ["FT", "FR", "SML", "ADER", "IMSR"])
+@pytest.mark.parametrize("model_name", ["ComiRec-DR", "ComiRec-SA"])
+def test_full_protocol_runs(world_and_split, config, strategy_name, model_name):
+    _, split = world_and_split
+    strategy = make_strategy(strategy_name, model_name, split, config,
+                             model_kwargs={"dim": 16, "num_interests": 3})
+    result = run_strategy(strategy, split)
+    assert len(result.per_span) == split.T - 1
+    assert all(np.isfinite([r.hr, r.ndcg]).all() for r in result.per_span)
+    assert all(r.num_cases > 0 for r in result.per_span)
+    assert result.hr > 0.0  # a trained model must beat the empty baseline
+
+
+def test_trained_model_beats_untrained(world_and_split, config):
+    _, split = world_and_split
+    trained = make_strategy("FT", "ComiRec-DR", split, config,
+                            model_kwargs={"dim": 16, "num_interests": 3})
+    trained_result = run_strategy(trained, split)
+
+    untrained = make_strategy(
+        "FT", "ComiRec-DR", split,
+        TrainConfig(epochs_pretrain=0, epochs_incremental=0, seed=0),
+        model_kwargs={"dim": 16, "num_interests": 3})
+    untrained_result = run_strategy(untrained, split)
+    assert trained_result.hr > untrained_result.hr
+
+
+def test_imsr_grows_interests_under_churn(world_and_split, config):
+    _, split = world_and_split
+    strategy = make_strategy("IMSR", "ComiRec-DR", split, config,
+                             model_kwargs={"dim": 16, "num_interests": 3})
+    result = run_strategy(strategy, split)
+    assert result.interest_counts[-1] > result.interest_counts[0] - 1e-9
+    assert result.interest_counts[-1] > 3.0
+
+
+def test_fr_training_time_exceeds_ft(world_and_split, config):
+    _, split = world_and_split
+    times = {}
+    for name in ("FR", "FT"):
+        strategy = make_strategy(name, "ComiRec-DR", split, config,
+                                 model_kwargs={"dim": 16, "num_interests": 3})
+        result = run_strategy(strategy, split)
+        times[name] = sum(v for k, v in result.train_times.items() if k > 0)
+    assert times["FR"] > times["FT"]
+
+
+def test_lifelong_baselines_complete(world_and_split, config):
+    _, split = world_and_split
+    mimn = MIMN(make_model("ComiRec-DR", split.num_items, dim=16,
+                           num_interests=3, seed=0), split, config)
+    mimn_result = run_strategy(mimn, split)
+    lima = LimaRec(LimaRecModel(split.num_items, dim=16, num_interests=3,
+                                key_dim=8, seed=0), split, config)
+    lima_result = run_strategy(lima, split)
+    for result in (mimn_result, lima_result):
+        assert np.isfinite(result.hr)
+        assert len(result.per_span) == split.T - 1
+
+
+def test_determinism_same_seed_same_result(world_and_split, config):
+    _, split = world_and_split
+
+    def run_once():
+        strategy = make_strategy("IMSR", "ComiRec-DR", split, config,
+                                 model_kwargs={"dim": 16, "num_interests": 3})
+        return run_strategy(strategy, split)
+
+    a, b = run_once(), run_once()
+    assert a.hr == pytest.approx(b.hr, abs=1e-12)
+    assert a.ndcg == pytest.approx(b.ndcg, abs=1e-12)
+    assert a.interest_counts == b.interest_counts
+
+
+def test_different_seeds_differ(world_and_split):
+    _, split = world_and_split
+
+    def run_seed(seed):
+        config = TrainConfig(epochs_pretrain=3, epochs_incremental=2,
+                             seed=seed)
+        strategy = make_strategy("FT", "ComiRec-DR", split, config,
+                                 model_kwargs={"dim": 16, "num_interests": 3})
+        return run_strategy(strategy, split)
+
+    assert run_seed(0).hr != pytest.approx(run_seed(1).hr, abs=1e-12)

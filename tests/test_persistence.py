@@ -1,0 +1,124 @@
+"""Tests for checkpoint save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import make_strategy, run_strategy
+from repro.incremental import TrainConfig
+from repro.persistence import checkpoint_info, load_checkpoint, save_checkpoint
+
+
+@pytest.fixture()
+def fast_config():
+    return TrainConfig(epochs_pretrain=2, epochs_incremental=1,
+                       num_negatives=4, seed=0)
+
+
+def build(tiny_split, config, name="IMSR", model="ComiRec-DR"):
+    return make_strategy(name, model, tiny_split, config,
+                         model_kwargs={"dim": 10, "num_interests": 2},
+                         strategy_kwargs={"c1": 0.2} if name == "IMSR" else {})
+
+
+class TestRoundTrip:
+    def test_params_and_states_restored(self, tiny_split, fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config)
+        strategy.pretrain()
+        strategy.train_span(1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(strategy, path)
+
+        fresh = build(tiny_split, fast_config)
+        load_checkpoint(fresh, path)
+
+        for (name, a), (_, b) in zip(strategy.model.named_parameters(),
+                                     fresh.model.named_parameters()):
+            assert np.allclose(a.data, b.data), name
+        for user, state in strategy.states.items():
+            restored = fresh.states[user]
+            assert np.allclose(state.interests, restored.interests)
+            assert np.allclose(state.prev_interests, restored.prev_interests)
+            assert state.n_existing == restored.n_existing
+            assert np.array_equal(state.created_span, restored.created_span)
+
+    def test_variable_interest_counts_survive(self, tiny_split, fast_config,
+                                              tmp_path):
+        strategy = build(tiny_split, fast_config)
+        strategy.pretrain()
+        # force heterogeneous interest counts across users
+        users = sorted(strategy.states)
+        strategy.model.expand_user(strategy.states[users[0]], 3, span=1)
+        strategy.model.expand_user(strategy.states[users[1]], 1, span=1)
+        counts = {u: s.num_interests for u, s in strategy.states.items()}
+        assert len(set(counts.values())) > 1
+
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(strategy, path)
+        fresh = build(tiny_split, fast_config)
+        load_checkpoint(fresh, path)
+        assert {u: s.num_interests for u, s in fresh.states.items()} == counts
+
+    def test_scoring_identical_after_restore(self, tiny_split, fast_config,
+                                             tmp_path):
+        strategy = build(tiny_split, fast_config)
+        strategy.pretrain()
+        strategy.train_span(1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(strategy, path)
+        fresh = build(tiny_split, fast_config)
+        load_checkpoint(fresh, path)
+        for user in list(strategy.states)[:5]:
+            assert np.allclose(strategy.score_user(user),
+                               fresh.score_user(user))
+
+    def test_sa_weights_restored(self, tiny_split, fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config, model="ComiRec-SA")
+        strategy.pretrain()
+        path = tmp_path / "sa.npz"
+        save_checkpoint(strategy, path)
+        fresh = build(tiny_split, fast_config, model="ComiRec-SA")
+        load_checkpoint(fresh, path)
+        for user, state in strategy.states.items():
+            assert np.allclose(state.sa_weights.data,
+                               fresh.states[user].sa_weights.data)
+
+    def test_resume_training_after_restore(self, tiny_split, fast_config,
+                                           tmp_path):
+        strategy = build(tiny_split, fast_config)
+        strategy.pretrain()
+        strategy.train_span(1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(strategy, path)
+        fresh = build(tiny_split, fast_config)
+        load_checkpoint(fresh, path)
+        fresh.train_span(2)  # must not crash; states stay consistent
+        for state in fresh.states.values():
+            assert np.isfinite(state.interests).all()
+
+
+class TestValidation:
+    def test_family_mismatch_rejected(self, tiny_split, fast_config, tmp_path):
+        dr = build(tiny_split, fast_config, model="ComiRec-DR")
+        dr.pretrain()
+        path = tmp_path / "dr.npz"
+        save_checkpoint(dr, path)
+        sa = build(tiny_split, fast_config, model="ComiRec-SA")
+        with pytest.raises(ValueError, match="family"):
+            load_checkpoint(sa, path)
+
+    def test_shape_mismatch_rejected(self, tiny_split, fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config)
+        save_checkpoint(strategy, tmp_path / "a.npz")
+        other = make_strategy("IMSR", "ComiRec-DR", tiny_split, fast_config,
+                              model_kwargs={"dim": 6, "num_interests": 2})
+        with pytest.raises(ValueError, match="shape"):
+            load_checkpoint(other, tmp_path / "a.npz")
+
+    def test_checkpoint_info(self, tiny_split, fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config)
+        path = tmp_path / "info.npz"
+        save_checkpoint(strategy, path)
+        meta = checkpoint_info(path)
+        assert meta["strategy"] == "IMSR"
+        assert meta["model_family"] == "dr"
+        assert len(meta["users"]) == len(strategy.states)

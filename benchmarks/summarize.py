@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
 """Summarize a benchmark run's shape checks into a markdown table.
 
-Usage:  python benchmarks/summarize.py bench_output.txt
+Usage:  python benchmarks/summarize.py bench_output.txt [--lint lint.json]
 
 Parses the ``===== <title> =====`` sections and the ``N/M shape checks
 hold`` lines the bench harness prints, and emits the markdown summary
-that EXPERIMENTS.md embeds.
+that EXPERIMENTS.md embeds.  With ``--lint``, the JSON report from
+``python -m repro.analysis src --format json`` is appended as an extra
+row so lint counts are tracked next to the reproduction metrics.
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sys
 from pathlib import Path
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
 def parse_sections(text: str) -> List[Tuple[str, int, int]]:
@@ -32,7 +35,25 @@ def parse_sections(text: str) -> List[Tuple[str, int, int]]:
     return sections
 
 
-def to_markdown(sections: List[Tuple[str, int, int]]) -> str:
+def parse_lint(text: str) -> Tuple[str, str]:
+    """Turn a ``repro.analysis --format json`` report into a table row."""
+    payload = json.loads(text)
+    summary = payload.get("summary", {})
+    findings = int(summary.get("findings", 0))
+    parse_errors = int(summary.get("parse_errors", 0))
+    files = int(summary.get("files_scanned", 0))
+    if findings == 0 and parse_errors == 0:
+        return ("static analysis", f"clean ({files} files)")
+    by_rule = summary.get("by_rule", {})
+    detail = ", ".join(f"{rid}×{n}" for rid, n in sorted(by_rule.items()))
+    cell = f"{findings + parse_errors} finding(s)"
+    if detail:
+        cell += f" [{detail}]"
+    return ("static analysis", cell)
+
+
+def to_markdown(sections: List[Tuple[str, int, int]],
+                lint: Optional[Tuple[str, str]] = None) -> str:
     lines = ["| experiment | shape checks |", "|---|---|"]
     passed_total = checks_total = 0
     for title, passed, total in sections:
@@ -40,19 +61,39 @@ def to_markdown(sections: List[Tuple[str, int, int]]) -> str:
         passed_total += passed
         checks_total += total
     lines.append(f"| **overall** | **{passed_total}/{checks_total}** |")
+    if lint is not None:
+        lines.append(f"| {lint[0]} | {lint[1]} |")
     return "\n".join(lines)
 
 
 def main(argv: List[str]) -> int:
-    if len(argv) != 2:
+    args = list(argv[1:])
+    lint_path = None
+    if "--lint" in args:
+        at = args.index("--lint")
+        try:
+            lint_path = args[at + 1]
+        except IndexError:
+            print(__doc__)
+            return 2
+        del args[at:at + 2]
+    if len(args) != 1:
         print(__doc__)
         return 2
-    text = Path(argv[1]).read_text()
+    text = Path(args[0]).read_text()
     sections = parse_sections(text)
     if not sections:
         print("no shape-check sections found", file=sys.stderr)
         return 1
-    print(to_markdown(sections))
+    lint = None
+    if lint_path is not None:
+        try:
+            lint = parse_lint(Path(lint_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: could not read lint report {lint_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    print(to_markdown(sections, lint=lint))
     return 0
 
 

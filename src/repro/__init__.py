@@ -11,15 +11,18 @@ Layered public API:
 * :mod:`repro.incremental` — FR, FT, SML, ADER, and **IMSR** (EIR/NID/PIT);
 * :mod:`repro.lifelong` — MIMN and LimaRec baselines;
 * :mod:`repro.eval` — HR/NDCG, span protocol, significance tests;
-* :mod:`repro.experiments` — drivers regenerating every table and figure.
+* :mod:`repro.experiments` — drivers regenerating every table and figure;
+* :mod:`repro.analysis` — static analysis enforcing the substrate's
+  autograd/randomness/numerics contracts (``repro lint``).
 """
 
-from . import autograd, data, eval, experiments, incremental, lifelong, models, nn
+from . import analysis, autograd, data, eval, experiments, incremental, lifelong, models, nn
 from . import persistence
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "autograd",
     "nn",
     "data",

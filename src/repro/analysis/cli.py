@@ -1,0 +1,116 @@
+"""Command line for the static analyzer.
+
+Invocable three ways, all sharing this module:
+
+* ``python -m repro.analysis [paths...]``
+* ``repro lint [paths...]`` (subcommand of the main CLI)
+* ``repro-lint [paths...]`` (console script)
+
+Exit codes are deterministic: 0 = clean tree (baselined / noqa-suppressed
+findings do not fail), 1 = actionable findings or unparseable files,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline, discover_baseline
+from .core import RULE_REGISTRY
+from .engine import analyze_paths, iter_python_files
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based autograd-contract linter for this repository",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to analyze (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="fmt", help="report format")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file (default: nearest "
+                             "analysis-baseline.json above the scanned paths)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _format_rule_list() -> str:
+    lines = []
+    for rule in RULE_REGISTRY.values():
+        lines.append(f"{rule.id}  {rule.name:<26} [{rule.severity}] "
+                     f"{rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        print(_format_rule_list())
+        return 0
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    select = args.select.split(",") if args.select else None
+    try:
+        files = iter_python_files(paths)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not files:
+        print(f"error: no python files found under: {', '.join(paths)}",
+              file=sys.stderr)
+        return 2
+
+    baseline = None
+    baseline_path = None
+    if not args.no_baseline:
+        baseline_path = (Path(args.baseline) if args.baseline
+                         else discover_baseline([Path(p) for p in paths]))
+        if baseline_path is not None and baseline_path.exists():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (ValueError, KeyError, OSError) as exc:
+                print(f"error: invalid baseline {baseline_path}: {exc}",
+                      file=sys.stderr)
+                return 2
+
+    try:
+        report = analyze_paths(paths, select=select, baseline=baseline)
+    except KeyError as exc:  # unknown --select rule id
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or Path(args.baseline or "analysis-baseline.json")
+        merged = Baseline.from_findings(report.findings + report.baselined)
+        if baseline is not None:
+            # keep existing justifications for entries that still match
+            for fp, entry in baseline.entries.items():
+                if fp in merged.entries and entry.justification:
+                    merged.entries[fp] = entry
+        merged.save(target)
+        print(f"wrote {len(merged)} baseline entr"
+              f"{'y' if len(merged) == 1 else 'ies'} to {target}")
+        return 0
+
+    from .reporters import render_json, render_text
+
+    print(render_json(report) if args.fmt == "json" else render_text(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

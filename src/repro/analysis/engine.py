@@ -1,0 +1,169 @@
+"""File discovery and rule execution.
+
+:func:`analyze_paths` is the programmatic entry point: it walks the
+given files/directories, parses every python module once, runs the
+registered rules, applies ``# repro: noqa`` suppressions and the
+baseline, and returns an :class:`AnalysisReport` with deterministic
+ordering and exit semantics (0 = clean, 1 = actionable findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from .baseline import Baseline, BaselineEntry
+from .core import (
+    PARSE_ERROR_RULE,
+    RULE_REGISTRY,
+    SEVERITY_ERROR,
+    Finding,
+    ModuleContext,
+    Rule,
+)
+
+_SKIP_DIR_SUFFIXES = (".egg-info",)
+_SKIP_DIR_NAMES = ("__pycache__", "build", "dist")
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated module list."""
+    seen = set()
+    out: List[Path] = []
+
+    def _add(path: Path) -> None:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            out.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            _add(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.parts
+                if any(part.startswith(".") or part in _SKIP_DIR_NAMES
+                       or part.endswith(_SKIP_DIR_SUFFIXES)
+                       for part in parts):
+                    continue
+                _add(candidate)
+    return out
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    noqa_suppressed: List[Finding] = field(default_factory=list)
+    parse_errors: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+    baseline_path: Optional[Path] = None
+
+    @property
+    def exit_code(self) -> int:
+        """0 = clean (baselined/suppressed findings do not fail the run)."""
+        return 1 if (self.findings or self.parse_errors) else 0
+
+    @property
+    def all_raw_findings(self) -> List[Finding]:
+        return self.findings + self.baselined + self.noqa_suppressed
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def selected_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    if select is None:
+        return list(RULE_REGISTRY.values())
+    wanted = {s.strip().upper() for s in select if s.strip()}
+    unknown = wanted - set(RULE_REGISTRY)
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                       f"known: {', '.join(RULE_REGISTRY)}")
+    return [rule for rid, rule in RULE_REGISTRY.items() if rid in wanted]
+
+
+def analyze_source(source: str, path: Path, select: Optional[Sequence[str]] = None,
+                   display_path: Optional[str] = None) -> List[Finding]:
+    """Run the (selected) rules over one in-memory module.
+
+    noqa suppression is applied; the baseline is not.  Primarily for
+    tests and tooling that synthesize snippets.
+    """
+    ctx = ModuleContext.from_source(source, path,
+                                    display_path=display_path or str(path))
+    findings: List[Finding] = []
+    for rule in selected_rules(select):
+        findings.extend(rule.check(ctx))
+    kept = []
+    for f in findings:
+        directive = ctx.noqa_for_line(f.line)
+        if directive is not None and (not directive or f.rule in directive):
+            continue
+        kept.append(f)
+    return _sorted(kept)
+
+
+def _sorted(findings: List[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def analyze_paths(paths: Sequence[str], select: Optional[Sequence[str]] = None,
+                  baseline: Optional[Baseline] = None) -> AnalysisReport:
+    """Analyze a tree; apply noqa directives and the baseline."""
+    rules = selected_rules(select)
+    report = AnalysisReport(rules_run=[r.id for r in rules])
+    if baseline is not None:
+        report.baseline_path = baseline.source
+
+    matched_fingerprints: List[str] = []
+    for path in iter_python_files(paths):
+        report.files_scanned += 1
+        display = _display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = ModuleContext.from_source(source, path, display_path=display)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            report.parse_errors.append(Finding(
+                rule=PARSE_ERROR_RULE,
+                severity=SEVERITY_ERROR,
+                path=display,
+                line=line,
+                col=0,
+                message=f"could not analyze file: {exc}",
+            ))
+            continue
+
+        for rule in rules:
+            for f in rule.check(ctx):
+                directive = ctx.noqa_for_line(f.line)
+                if directive is not None and (not directive
+                                              or f.rule in directive):
+                    report.noqa_suppressed.append(f)
+                    continue
+                fingerprint = f.fingerprint()
+                if baseline is not None and fingerprint in baseline:
+                    matched_fingerprints.append(fingerprint)
+                    report.baselined.append(f)
+                    continue
+                report.findings.append(f)
+
+    report.findings = _sorted(report.findings)
+    report.baselined = _sorted(report.baselined)
+    report.noqa_suppressed = _sorted(report.noqa_suppressed)
+    if baseline is not None:
+        report.stale_baseline = baseline.stale_entries(matched_fingerprints)
+    return report

@@ -1,0 +1,75 @@
+"""Text and JSON renderings of an :class:`~repro.analysis.engine.AnalysisReport`.
+
+The text form is the human / CI-log view; the JSON form feeds tooling
+(``benchmarks/summarize.py`` ingests its ``summary`` block as a tracked
+quality metric).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict
+
+from .core import SEVERITY_ERROR, SEVERITY_WARNING
+from .engine import AnalysisReport
+
+
+def _counts(report: AnalysisReport) -> Dict[str, int]:
+    severities = Counter(f.severity for f in report.findings)
+    return {
+        "findings": len(report.findings),
+        "errors": severities.get(SEVERITY_ERROR, 0) + len(report.parse_errors),
+        "warnings": severities.get(SEVERITY_WARNING, 0),
+        "baselined": len(report.baselined),
+        "noqa_suppressed": len(report.noqa_suppressed),
+        "parse_errors": len(report.parse_errors),
+        "stale_baseline": len(report.stale_baseline),
+        "files_scanned": report.files_scanned,
+    }
+
+
+def render_text(report: AnalysisReport) -> str:
+    lines = []
+    for f in report.parse_errors + report.findings:
+        lines.append(f.format())
+    counts = _counts(report)
+    if report.stale_baseline:
+        lines.append("stale baseline entries (finding no longer present — "
+                     "remove them):")
+        for entry in report.stale_baseline:
+            lines.append(f"  {entry.fingerprint}  {entry.rule}  {entry.path}")
+    if counts["findings"] or counts["parse_errors"]:
+        by_rule = Counter(f.rule for f in report.findings)
+        fired = ", ".join(f"{rid}×{n}" for rid, n in sorted(by_rule.items()))
+        lines.append(
+            f"{counts['findings']} finding(s) "
+            f"({counts['errors']} error(s), {counts['warnings']} warning(s)) "
+            f"across {counts['files_scanned']} file(s)"
+            + (f" [{fired}]" if fired else ""))
+    else:
+        suffix = []
+        if counts["baselined"]:
+            suffix.append(f"{counts['baselined']} baselined")
+        if counts["noqa_suppressed"]:
+            suffix.append(f"{counts['noqa_suppressed']} noqa-suppressed")
+        detail = f" ({', '.join(suffix)})" if suffix else ""
+        lines.append(f"clean: 0 findings across {counts['files_scanned']} "
+                     f"file(s){detail}")
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    by_rule = Counter(f.rule for f in report.findings)
+    payload = {
+        "version": 1,
+        "tool": "repro.analysis",
+        "summary": {**_counts(report), "by_rule": dict(sorted(by_rule.items()))},
+        "rules_run": report.rules_run,
+        "findings": [f.as_dict() for f in report.findings],
+        "parse_errors": [f.as_dict() for f in report.parse_errors],
+        "baselined": [f.as_dict() for f in report.baselined],
+        "stale_baseline": [e.as_dict() for e in report.stale_baseline],
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2)

@@ -13,6 +13,8 @@ Commands
     ``fig5``) and print it with its shape checks.
 ``checkpoint-info PATH``
     Inspect a checkpoint written by :mod:`repro.persistence`.
+``lint [PATHS...]``
+    Run the repository's static-analysis rules (:mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -74,6 +76,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ckpt = sub.add_parser("checkpoint-info", help="inspect a checkpoint")
     p_ckpt.add_argument("path")
+
+    p_lint = sub.add_parser("lint", help="run the static-analysis rules")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to analyze (default: src)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="fmt")
+    p_lint.add_argument("--select", default=None, metavar="RULES")
+    p_lint.add_argument("--baseline", default=None, metavar="FILE")
+    p_lint.add_argument("--no-baseline", action="store_true")
+    p_lint.add_argument("--write-baseline", action="store_true")
+    p_lint.add_argument("--list-rules", action="store_true")
 
     return parser
 
@@ -158,6 +171,24 @@ def cmd_checkpoint_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import main as analysis_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.fmt]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return analysis_main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -170,6 +201,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_experiment(args)
     if args.command == "checkpoint-info":
         return cmd_checkpoint_info(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -32,9 +32,13 @@ def projection_matrix(existing: np.ndarray) -> np.ndarray:
     """
     if existing.size == 0:
         return np.zeros((0, 0))
-    m = existing.T  # (d, K)
-    gram = m.T @ m  # (K, K)
-    return m @ np.linalg.pinv(gram) @ m.T
+    # build from an orthonormal row basis (SVD) rather than the normal
+    # equations M (M^T M)^+ M^T, which square the condition number and
+    # lose idempotency on nearly-collinear interests
+    _, s, vt = np.linalg.svd(existing, full_matrices=False)
+    cutoff = np.finfo(s.dtype).eps * max(existing.shape) * (s[0] if s.size else 0.0)
+    basis = vt[s > cutoff]  # (rank, d), orthonormal rows
+    return basis.T @ basis
 
 
 def orthogonal_residual(new: np.ndarray, existing: np.ndarray) -> np.ndarray:

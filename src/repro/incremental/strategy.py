@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, no_grad
 from ..data.sampler import NegativeSampler
 from ..data.schema import SpanDataset, TemporalSplit
 from ..models.base import MSRModel, UserState
@@ -243,7 +243,9 @@ class IncrementalStrategy:
             if not items:
                 continue
             state = self.states[user]
-            interests = self.model.compute_interests(state, items)
-            if interests_hook is not None:
-                interests = interests_hook(state, interests)
+            # snapshots are detached reads — skip graph construction
+            with no_grad():
+                interests = self.model.compute_interests(state, items)
+                if interests_hook is not None:
+                    interests = interests_hook(state, interests)
             state.interests = interests.data.copy()

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, no_grad
 from ..nn import Embedding, Module, Parameter
 from .aggregator import score_items
 from .sampled_softmax import batch_sampled_softmax_loss, sampled_softmax_loss
@@ -187,5 +187,6 @@ class MSRModel(Module):
         """Recompute and store (detached) interests from ``item_seq``."""
         if len(item_seq) == 0:
             return
-        interests = self.compute_interests(state, item_seq)
+        with no_grad():
+            interests = self.compute_interests(state, item_seq)
         state.interests = interests.data.copy()

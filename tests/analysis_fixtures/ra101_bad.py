@@ -1,0 +1,10 @@
+"""RA101 firing: every in-place mutation form of a Tensor buffer."""
+
+import numpy as np
+
+
+def corrupt(param, grad, idx):
+    param.data += 0.1 * grad            # aug-assign into the buffer
+    param.data[idx] = 0.0               # slice assignment
+    np.add.at(param.grad, idx, 1.0)     # ufunc scatter
+    np.multiply(param.data, 2.0, out=param.data)  # out= aliasing

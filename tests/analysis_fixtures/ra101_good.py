@@ -1,0 +1,11 @@
+"""RA101 silent: out-of-place math and mutation of detached copies."""
+
+import numpy as np
+
+
+def update(param, grad, idx):
+    stepped = param.data - 0.1 * grad
+    buffer = param.data.copy()
+    buffer[idx] = 0.0
+    np.add.at(buffer, idx, 1.0)
+    return stepped, buffer

@@ -1,0 +1,6 @@
+"""RA102 firing: raw ``.data`` arithmetic inside a loss function."""
+
+
+def distillation_loss(interests, teacher):
+    drift = interests.data - teacher.data  # both sides leave the tape
+    return (drift * drift).mean()

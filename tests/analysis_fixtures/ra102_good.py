@@ -1,0 +1,8 @@
+"""RA102 silent: an intentional constant is wrapped in Tensor(...)."""
+
+from repro.autograd import Tensor
+
+
+def distillation_loss(interests, teacher):
+    drift = interests - Tensor(teacher.data)  # explicit constant teacher
+    return (drift * drift).mean()

@@ -1,0 +1,6 @@
+"""RA103 firing: inference entry point recording a throwaway graph."""
+
+
+def predict_scores(model, state, items):
+    interests = model.compute_interests(state, items)
+    return interests.data

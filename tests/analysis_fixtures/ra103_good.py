@@ -1,0 +1,9 @@
+"""RA103 silent: the same entry point under no_grad()."""
+
+from repro.autograd import no_grad
+
+
+def predict_scores(model, state, items):
+    with no_grad():
+        interests = model.compute_interests(state, items)
+    return interests.data

@@ -1,0 +1,8 @@
+"""RA201 firing: draws from the legacy global numpy RNG."""
+
+import numpy as np
+
+
+def sample_negatives(num_items, count):
+    np.random.seed(0)
+    return np.random.randint(0, num_items, size=count)

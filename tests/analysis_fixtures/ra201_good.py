@@ -1,0 +1,8 @@
+"""RA201 silent: a seeded Generator threaded through explicitly."""
+
+import numpy as np
+
+
+def sample_negatives(num_items, count, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_items, size=count)

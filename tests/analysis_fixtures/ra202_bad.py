@@ -1,0 +1,7 @@
+"""RA202 firing: entropy-seeded Generator — runs are irreproducible."""
+
+import numpy as np
+
+
+def make_rng():
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+"""RA202 silent: the seed comes from the experiment config."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

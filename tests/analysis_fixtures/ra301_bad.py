@@ -1,0 +1,7 @@
+"""RA301 firing: log of a possibly-zero probability in loss code."""
+
+import numpy as np
+
+
+def nll_loss(probs):
+    return -np.log(probs).mean()

@@ -1,0 +1,7 @@
+"""RA301 silent: the argument carries an epsilon guard."""
+
+import numpy as np
+
+
+def nll_loss(probs, eps=1e-9):
+    return -np.log(probs + eps).mean()

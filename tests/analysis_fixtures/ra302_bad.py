@@ -1,0 +1,8 @@
+"""RA302 firing: exp of unshifted logits overflows for large inputs."""
+
+import numpy as np
+
+
+def softmax_loss(logits):
+    weights = np.exp(logits)
+    return weights / weights.sum()

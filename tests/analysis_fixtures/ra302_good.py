@@ -1,0 +1,8 @@
+"""RA302 silent: the stable-softmax max-shift idiom."""
+
+import numpy as np
+
+
+def softmax_loss(logits, eps=1e-9):
+    weights = np.exp(logits - logits.max())
+    return weights / (weights.sum() + eps)

@@ -1,0 +1,6 @@
+"""RA303 firing: division by a bare reduction — 0/0 risk."""
+
+
+def norm_penalty(vectors):
+    total = (vectors * vectors).sum()
+    return vectors / total

@@ -1,0 +1,6 @@
+"""RA303 silent: the denominator carries '+ eps'."""
+
+
+def norm_penalty(vectors, eps=1e-12):
+    total = (vectors * vectors).sum() + eps
+    return vectors / total

@@ -1,0 +1,6 @@
+"""RA401 firing: the default list is shared across every call."""
+
+
+def collect(item, seen=[]):
+    seen.append(item)
+    return seen

@@ -1,0 +1,8 @@
+"""RA401 silent: None default, constructed per call."""
+
+
+def collect(item, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(item)
+    return seen

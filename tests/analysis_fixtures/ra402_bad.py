@@ -1,0 +1,15 @@
+"""RA402 firing: bare except and a swallowing 'except Exception'."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+
+
+def load_quiet(path):
+    try:
+        return open(path).read()
+    except Exception:
+        pass

@@ -1,0 +1,8 @@
+"""RA402 silent: the exception set is named, the failure handled."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None

@@ -1,0 +1,240 @@
+"""Engine mechanics: noqa suppression, baseline round-trip, reporters,
+file discovery, and CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    analyze_paths,
+    analyze_source,
+    discover_baseline,
+    iter_python_files,
+    render_json,
+    render_text,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import selected_rules
+
+BAD_LOSS = (
+    "import numpy as np\n"
+    "def nll_loss(probs):\n"
+    "    return -np.log(probs).mean()\n"
+)
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_everything(self, tmp_path):
+        src = BAD_LOSS.replace(".mean()", ".mean()  # repro: noqa")
+        assert analyze_source(src, tmp_path / "m.py") == []
+
+    def test_bracketed_noqa_suppresses_named_rule(self, tmp_path):
+        src = BAD_LOSS.replace(".mean()", ".mean()  # repro: noqa[RA301]")
+        assert analyze_source(src, tmp_path / "m.py") == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        src = BAD_LOSS.replace(".mean()", ".mean()  # repro: noqa[RA401]")
+        findings = analyze_source(src, tmp_path / "m.py")
+        assert [f.rule for f in findings] == ["RA301"]
+
+    def test_suppressed_findings_are_reported_not_dropped(self, tmp_path):
+        write(tmp_path, "m.py",
+              BAD_LOSS.replace(".mean()", ".mean()  # repro: noqa[RA301]"))
+        report = analyze_paths([str(tmp_path)])
+        assert report.findings == []
+        assert [f.rule for f in report.noqa_suppressed] == ["RA301"]
+        assert report.exit_code == 0
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        write(tmp_path, "m.py", BAD_LOSS)
+        report = analyze_paths([str(tmp_path)])
+        assert report.exit_code == 1 and len(report.findings) == 1
+
+        baseline_path = tmp_path / "analysis-baseline.json"
+        Baseline.from_findings(report.findings).save(baseline_path)
+        loaded = Baseline.load(baseline_path)
+        assert len(loaded) == 1
+
+        again = analyze_paths([str(tmp_path)], baseline=loaded)
+        assert again.findings == []
+        assert [f.rule for f in again.baselined] == ["RA301"]
+        assert again.exit_code == 0
+        assert again.stale_baseline == []
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        write(tmp_path, "m.py", BAD_LOSS)
+        report = analyze_paths([str(tmp_path)])
+        baseline = Baseline.from_findings(report.findings)
+
+        # unrelated edit above the finding: fingerprint must still match
+        write(tmp_path, "m.py", "'''docstring'''\n\n" + BAD_LOSS)
+        again = analyze_paths([str(tmp_path)], baseline=baseline)
+        assert again.findings == [] and len(again.baselined) == 1
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        write(tmp_path, "m.py", BAD_LOSS)
+        baseline = Baseline.from_findings(analyze_paths([str(tmp_path)]).findings)
+
+        write(tmp_path, "m.py",
+              BAD_LOSS.replace("np.log(probs)", "np.log(probs + 1e-12)"))
+        report = analyze_paths([str(tmp_path)], baseline=baseline)
+        assert report.findings == []
+        assert len(report.stale_baseline) == 1
+        assert report.stale_baseline[0].rule == "RA301"
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = write(tmp_path, "analysis-baseline.json",
+                     json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_discover_walks_up_from_scanned_path(self, tmp_path):
+        marker = write(tmp_path, "analysis-baseline.json",
+                       json.dumps({"version": 1, "findings": []}))
+        nested = tmp_path / "pkg" / "sub"
+        nested.mkdir(parents=True)
+        module = write(nested, "m.py", "x = 1\n")
+        assert discover_baseline([module]) == marker
+        assert discover_baseline([nested]) == marker
+
+    def test_committed_baseline_is_empty(self):
+        repo_root = Path(__file__).resolve().parents[1]
+        baseline = Baseline.load(repo_root / "analysis-baseline.json")
+        assert len(baseline) == 0
+
+
+class TestDiscoveryAndSelection:
+    def test_iter_skips_caches_and_hidden_dirs(self, tmp_path):
+        write(tmp_path, "keep.py", "x = 1\n")
+        for skipped in ("__pycache__", "build", ".hidden"):
+            d = tmp_path / skipped
+            d.mkdir()
+            write(d, "drop.py", "x = 1\n")
+        files = iter_python_files([str(tmp_path)])
+        assert [f.name for f in files] == ["keep.py"]
+
+    def test_iter_dedups_overlapping_paths(self, tmp_path):
+        path = write(tmp_path, "m.py", "x = 1\n")
+        files = iter_python_files([str(tmp_path), str(path)])
+        assert len(files) == 1
+
+    def test_selected_rules_unknown_id(self):
+        with pytest.raises(KeyError):
+            selected_rules(["RA999"])
+
+    def test_select_restricts_rules_run(self, tmp_path):
+        write(tmp_path, "m.py",
+              BAD_LOSS + "\ndef f(seen=[]):\n    return seen\n")
+        report = analyze_paths([str(tmp_path)], select=["RA401"])
+        assert report.rules_run == ["RA401"]
+        assert [f.rule for f in report.findings] == ["RA401"]
+
+
+class TestReporters:
+    def test_text_summary_on_findings(self, tmp_path):
+        write(tmp_path, "m.py", BAD_LOSS)
+        text = render_text(analyze_paths([str(tmp_path)]))
+        assert "RA301" in text
+        assert "1 finding(s) (1 error(s), 0 warning(s)) across 1 file(s)" in text
+        assert "[RA301×1]" in text
+
+    def test_text_summary_clean(self, tmp_path):
+        write(tmp_path, "m.py", "x = 1\n")
+        text = render_text(analyze_paths([str(tmp_path)]))
+        assert "clean: 0 findings across 1 file(s)" in text
+
+    def test_json_payload(self, tmp_path):
+        write(tmp_path, "m.py", BAD_LOSS)
+        payload = json.loads(render_json(analyze_paths([str(tmp_path)])))
+        assert payload["tool"] == "repro.analysis"
+        assert payload["summary"]["findings"] == 1
+        assert payload["summary"]["by_rule"] == {"RA301": 1}
+        assert payload["exit_code"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RA301"
+        assert finding["fingerprint"]
+        assert set(payload["rules_run"]) >= {"RA101", "RA301", "RA402"}
+
+    def test_parse_error_reported(self, tmp_path):
+        write(tmp_path, "broken.py", "def f(:\n")
+        report = analyze_paths([str(tmp_path)])
+        assert report.exit_code == 1
+        assert [f.rule for f in report.parse_errors] == ["RA000"]
+        assert "RA000" in render_text(report)
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "m.py", "x = 1\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write(tmp_path, "m.py", BAD_LOSS)
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        assert "RA301" in capsys.readouterr().out
+
+    def test_no_files_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert lint_main([str(empty)]) == 2
+        assert "no python files" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "m.py", "x = 1\n")
+        assert lint_main([str(tmp_path), "--select", "NOPE"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_invalid_baseline_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "m.py", "x = 1\n")
+        bad = write(tmp_path, "bad-baseline.json",
+                    json.dumps({"version": 99, "findings": []}))
+        assert lint_main([str(tmp_path), "--baseline", str(bad)]) == 2
+        assert "invalid baseline" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path, capsys):
+        write(tmp_path, "m.py", BAD_LOSS)
+        assert lint_main([str(tmp_path), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["by_rule"] == {"RA301": 1}
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        write(tmp_path, "m.py", BAD_LOSS)
+        baseline = tmp_path / "analysis-baseline.json"
+        assert lint_main([str(tmp_path), "--baseline", str(baseline),
+                          "--write-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # grandfathered finding no longer fails the run
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RA101", "RA201", "RA301", "RA401"):
+            assert rule_id in out
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+
+        write(tmp_path, "m.py", "x = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(tmp_path)],
+            capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parents[1],
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "clean" in proc.stdout

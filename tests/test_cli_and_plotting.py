@@ -99,6 +99,34 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "pre-training" in out
 
+    def test_lint_command_clean_on_src(self, capsys):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        assert main(["lint", str(src)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_command_flags_violation(self, tmp_path, capsys):
+        bad = tmp_path / "m.py"
+        bad.write_text("import numpy as np\n"
+                       "def f():\n"
+                       "    return np.random.rand(3)\n")
+        assert main(["lint", str(bad), "--no-baseline"]) == 1
+        assert "RA201" in capsys.readouterr().out
+
+    def test_lint_command_json_format(self, tmp_path, capsys):
+        import json
+
+        clean = tmp_path / "m.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 0
+
+    def test_lint_command_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "RA101" in capsys.readouterr().out
+
     def test_checkpoint_info_command(self, tiny_split, tmp_path, capsys):
         from repro.experiments import make_strategy
         from repro.incremental import TrainConfig

@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
 """Summarize a benchmark run's shape checks into a markdown table.
 
-Usage:  python benchmarks/summarize.py bench_output.txt [--lint lint.json]
+Usage:  python benchmarks/summarize.py bench_output.txt
+            [--lint lint.json] [--contracts src]
 
 Parses the ``===== <title> =====`` sections and the ``N/M shape checks
 hold`` lines the bench harness prints, and emits the markdown summary
 that EXPERIMENTS.md embeds.  With ``--lint``, the JSON report from
 ``python -m repro.analysis src --format json`` is appended as an extra
-row so lint counts are tracked next to the reproduction metrics.
+row so lint counts are tracked next to the reproduction metrics; with
+``--contracts``, per-package shape-contract coverage (decorated public
+functions / total public functions) is appended as well.
 """
 
 from __future__ import annotations
 
+import ast
 import json
 import re
 import sys
@@ -52,8 +56,49 @@ def parse_lint(text: str) -> Tuple[str, str]:
     return ("static analysis", cell)
 
 
+def _is_contract_decorator(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None)
+    return name == "shape_contract"
+
+
+def contract_coverage(src_root: Path) -> List[Tuple[str, int, int]]:
+    """Per-package (package, annotated, public-function total) triples.
+
+    Counts module- and class-level ``def``s whose names are public (no
+    leading underscore); a function counts as annotated when it carries
+    a ``@shape_contract(...)`` decorator.  Packages are the direct
+    subpackages of ``repro`` (top-level modules roll up under ``repro``).
+    """
+    repro = src_root / "repro"
+    tallies: dict[str, List[int]] = {}
+    for path in sorted(repro.rglob("*.py")):
+        rel = path.relative_to(repro)
+        package = ("repro." + rel.parts[0]
+                   if len(rel.parts) > 1 else "repro")
+        try:
+            tree = ast.parse(path.read_text())
+        except SyntaxError:
+            continue
+        counts = tallies.setdefault(package, [0, 0])
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            counts[1] += 1
+            if any(_is_contract_decorator(d) for d in node.decorator_list):
+                counts[0] += 1
+    return [(pkg, annotated, total)
+            for pkg, (annotated, total) in sorted(tallies.items())]
+
+
 def to_markdown(sections: List[Tuple[str, int, int]],
-                lint: Optional[Tuple[str, str]] = None) -> str:
+                lint: Optional[Tuple[str, str]] = None,
+                coverage: Optional[List[Tuple[str, int, int]]] = None) -> str:
     lines = ["| experiment | shape checks |", "|---|---|"]
     passed_total = checks_total = 0
     for title, passed, total in sections:
@@ -63,21 +108,36 @@ def to_markdown(sections: List[Tuple[str, int, int]],
     lines.append(f"| **overall** | **{passed_total}/{checks_total}** |")
     if lint is not None:
         lines.append(f"| {lint[0]} | {lint[1]} |")
+    if coverage:
+        annotated_total = fn_total = 0
+        for pkg, annotated, total in coverage:
+            lines.append(
+                f"| contracts: {pkg} | {annotated}/{total} annotated |")
+            annotated_total += annotated
+            fn_total += total
+        lines.append(f"| **contracts overall** | "
+                     f"**{annotated_total}/{fn_total} annotated** |")
     return "\n".join(lines)
+
+
+def _take_flag(args: List[str], flag: str) -> Optional[str]:
+    """Pop ``flag VALUE`` from args; return VALUE, None, or '' if dangling."""
+    if flag not in args:
+        return None
+    at = args.index(flag)
+    try:
+        value = args[at + 1]
+    except IndexError:
+        return ""
+    del args[at:at + 2]
+    return value
 
 
 def main(argv: List[str]) -> int:
     args = list(argv[1:])
-    lint_path = None
-    if "--lint" in args:
-        at = args.index("--lint")
-        try:
-            lint_path = args[at + 1]
-        except IndexError:
-            print(__doc__)
-            return 2
-        del args[at:at + 2]
-    if len(args) != 1:
+    lint_path = _take_flag(args, "--lint")
+    contracts_root = _take_flag(args, "--contracts")
+    if lint_path == "" or contracts_root == "" or len(args) != 1:
         print(__doc__)
         return 2
     text = Path(args[0]).read_text()
@@ -93,7 +153,14 @@ def main(argv: List[str]) -> int:
             print(f"error: could not read lint report {lint_path}: {exc}",
                   file=sys.stderr)
             return 2
-    print(to_markdown(sections, lint=lint))
+    coverage = None
+    if contracts_root is not None:
+        root = Path(contracts_root)
+        if not (root / "repro").is_dir():
+            print(f"error: {root} has no repro/ package", file=sys.stderr)
+            return 2
+        coverage = contract_coverage(root)
+    print(to_markdown(sections, lint=lint, coverage=coverage))
     return 0
 
 

@@ -23,8 +23,9 @@ from .core import (
     register,
 )
 from .engine import AnalysisReport, analyze_paths, analyze_source, iter_python_files
-from .reporters import render_json, render_text
+from .reporters import render_github, render_json, render_text
 from . import rules  # registers the rule set on import
+from . import shapes  # registers the RA5xx shape-contract family
 
 __all__ = [
     "AnalysisReport",
@@ -40,7 +41,9 @@ __all__ = [
     "discover_baseline",
     "iter_python_files",
     "register",
+    "render_github",
     "render_json",
     "render_text",
     "rules",
+    "shapes",
 ]

@@ -30,8 +30,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*",
                         help="files/directories to analyze (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        dest="fmt", help="report format")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text", dest="fmt",
+                        help="report format ('github' emits Actions "
+                             "::error/::warning annotations)")
+    parser.add_argument("--exclude", action="append", default=[],
+                        metavar="NAME",
+                        help="skip files under any directory component "
+                             "NAME (repeatable; e.g. analysis_fixtures)")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run (default: all)")
     parser.add_argument("--baseline", default=None, metavar="FILE",
@@ -65,7 +71,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
     select = args.select.split(",") if args.select else None
     try:
-        files = iter_python_files(paths)
+        files = iter_python_files(paths, exclude=args.exclude)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -88,7 +94,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
 
     try:
-        report = analyze_paths(paths, select=select, baseline=baseline)
+        report = analyze_paths(paths, select=select, baseline=baseline,
+                               exclude=args.exclude)
     except KeyError as exc:  # unknown --select rule id
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -106,9 +113,11 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{'y' if len(merged) == 1 else 'ies'} to {target}")
         return 0
 
-    from .reporters import render_json, render_text
+    from .reporters import render_github, render_json, render_text
 
-    print(render_json(report) if args.fmt == "json" else render_text(report))
+    renderer = {"json": render_json, "github": render_github,
+                "text": render_text}[args.fmt]
+    print(renderer(report))
     return report.exit_code
 
 

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from . import shapes as _shapes  # noqa: F401  (registers the RA5xx family)
 from .baseline import Baseline, BaselineEntry
 from .core import (
     PARSE_ERROR_RULE,
@@ -28,10 +29,17 @@ _SKIP_DIR_SUFFIXES = (".egg-info",)
 _SKIP_DIR_NAMES = ("__pycache__", "build", "dist")
 
 
-def iter_python_files(paths: Sequence[str]) -> List[Path]:
-    """Expand files/directories into a sorted, de-duplicated module list."""
+def iter_python_files(paths: Sequence[str],
+                      exclude: Sequence[str] = ()) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated module list.
+
+    ``exclude`` names path components to skip during directory expansion
+    (e.g. ``analysis_fixtures`` — deliberately-violating test fixtures);
+    explicitly listed files are never excluded.
+    """
     seen = set()
     out: List[Path] = []
+    excluded = set(exclude)
 
     def _add(path: Path) -> None:
         key = path.resolve()
@@ -47,6 +55,7 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
             for candidate in sorted(path.rglob("*.py")):
                 parts = candidate.parts
                 if any(part.startswith(".") or part in _SKIP_DIR_NAMES
+                       or part in excluded
                        or part.endswith(_SKIP_DIR_SUFFIXES)
                        for part in parts):
                     continue
@@ -121,7 +130,8 @@ def _sorted(findings: List[Finding]) -> List[Finding]:
 
 
 def analyze_paths(paths: Sequence[str], select: Optional[Sequence[str]] = None,
-                  baseline: Optional[Baseline] = None) -> AnalysisReport:
+                  baseline: Optional[Baseline] = None,
+                  exclude: Sequence[str] = ()) -> AnalysisReport:
     """Analyze a tree; apply noqa directives and the baseline."""
     rules = selected_rules(select)
     report = AnalysisReport(rules_run=[r.id for r in rules])
@@ -129,7 +139,7 @@ def analyze_paths(paths: Sequence[str], select: Optional[Sequence[str]] = None,
         report.baseline_path = baseline.source
 
     matched_fingerprints: List[str] = []
-    for path in iter_python_files(paths):
+    for path in iter_python_files(paths, exclude=exclude):
         report.files_scanned += 1
         display = _display_path(path)
         try:

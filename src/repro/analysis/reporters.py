@@ -59,6 +59,30 @@ def render_text(report: AnalysisReport) -> str:
     return "\n".join(lines)
 
 
+def _gha_escape(text: str) -> str:
+    """Escape a workflow-command message per the Actions toolkit rules."""
+    return (text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A"))
+
+
+def render_github(report: AnalysisReport) -> str:
+    """GitHub Actions ``::error``/``::warning`` workflow commands.
+
+    One annotation per finding (and per parse error), so findings show
+    inline on the PR diff; the final line is the human text summary for
+    the raw job log.
+    """
+    lines = []
+    for f in report.parse_errors + report.findings:
+        level = "error" if f.severity == SEVERITY_ERROR else "warning"
+        lines.append(
+            f"::{level} file={f.path},line={f.line},col={f.col + 1},"
+            f"title={f.rule}::{_gha_escape(f.message)}")
+    lines.append(render_text(report))
+    return "\n".join(lines)
+
+
 def render_json(report: AnalysisReport) -> str:
     by_rule = Counter(f.rule for f in report.findings)
     payload = {

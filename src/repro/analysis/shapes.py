@@ -1,0 +1,1230 @@
+"""RA5xx — the symbolic shape/dtype contract checker.
+
+The rules in this module consume the same ``@shape_contract`` spec
+strings the runtime checker enforces (:mod:`repro.contracts`), and
+propagate *symbolic* dimensions through the straight-line dataflow of
+each decorated function:
+
+* contract dimension names (``B``, ``K``, ``D``…) become **skolem
+  constants** — distinct unless the contract says otherwise, so an
+  operation forcing ``K = T`` (a transposed matmul operand, a
+  reduce-then-broadcast slip) is a contradiction;
+* calling another contracted function **instantiates** its contract with
+  fresh unification variables, so shape errors surface at call
+  boundaries without inter-procedural analysis;
+* anything the propagator cannot follow — branches, loops, fancy
+  indexing, unannotated callees — becomes **unknown**, the sound
+  fallback that never produces a false positive on code it can't see.
+
+Rules
+-----
+RA501  shape contradiction inside a decorated function (matmul inner
+       dims, elementwise broadcast, return shape vs. contract)
+RA502  invalid ``@shape_contract`` spec (parse error, arity mismatch)
+RA503  call-site mismatch against a contracted callee
+RA504  dtype contradiction against a declared dtype class (warning)
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..contracts.runtime import EXTERNAL_CONTRACTS
+from ..contracts.spec import (
+    AnyDim,
+    Contract,
+    ContractParseError,
+    EllipsisDim,
+    FixedDim,
+    SkipSpec,
+    SymDim,
+    TensorSpec,
+    parse_contract,
+)
+from .core import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    ModuleContext,
+    Rule,
+    register,
+)
+from .rules import dotted_name, terminal_name
+
+# --------------------------------------------------------------------- #
+# symbolic dimensions
+# --------------------------------------------------------------------- #
+
+
+class _Unknown:
+    """A dimension (or whole shape) the analysis cannot follow."""
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+UNKNOWN = _Unknown()
+
+
+class Var:
+    """A bindable unification variable (callee instantiation, outputs)."""
+
+    __slots__ = ("hint", "bound")
+
+    def __init__(self, hint: str = "_"):
+        self.hint = hint
+        self.bound: Optional["DimT"] = None
+
+    def __repr__(self) -> str:
+        return f"{self.hint}?"
+
+
+#: a symbolic dim: concrete int, skolem name (str), Var, or UNKNOWN
+DimT = Union[int, str, Var, _Unknown]
+#: a symbolic shape: tuple of dims, or None when wholly unknown
+ShapeT = Optional[Tuple[DimT, ...]]
+
+
+def _resolve(dim: DimT) -> DimT:
+    while isinstance(dim, Var) and dim.bound is not None:
+        dim = dim.bound
+    return dim
+
+
+def _render_dim(dim: DimT) -> str:
+    dim = _resolve(dim)
+    if isinstance(dim, Var):
+        return f"{dim.hint}?"
+    return repr(dim) if isinstance(dim, _Unknown) else str(dim)
+
+
+def _render_shape(shape: ShapeT) -> str:
+    if shape is None:
+        return "(?)"
+    return "(" + ", ".join(_render_dim(d) for d in shape) + ")"
+
+
+def _unify_exact(a: DimT, b: DimT) -> Tuple[bool, DimT]:
+    """Unify two dims that must be equal.  Returns (ok, result dim).
+
+    Two distinct skolems — or two distinct ints — are a contradiction;
+    a skolem against an int is unprovable either way, so it degrades to
+    UNKNOWN without complaint (soundness over completeness).
+    """
+    a, b = _resolve(a), _resolve(b)
+    if a is UNKNOWN or b is UNKNOWN:
+        return True, UNKNOWN
+    if isinstance(a, Var):
+        a.bound = b
+        return True, b
+    if isinstance(b, Var):
+        b.bound = a
+        return True, a
+    if a == b:
+        return True, a
+    if isinstance(a, int) and isinstance(b, int):
+        return False, UNKNOWN
+    if isinstance(a, str) and isinstance(b, str):
+        return False, UNKNOWN
+    return True, UNKNOWN  # skolem vs int: cannot prove a mismatch
+
+
+def _unify_broadcast(a: DimT, b: DimT) -> Tuple[bool, DimT]:
+    """Unify two dims under numpy broadcasting (literal 1 stretches)."""
+    a, b = _resolve(a), _resolve(b)
+    if a == 1:
+        return True, b
+    if b == 1:
+        return True, a
+    return _unify_exact(a, b)
+
+
+# --------------------------------------------------------------------- #
+# symbolic values
+# --------------------------------------------------------------------- #
+
+_FLOAT_CLASSES = ("f", "f32", "f64")
+_INT_CLASSES = ("i", "i32", "i64")
+
+
+@dataclass
+class Value:
+    """What the analyzer knows about one expression."""
+
+    shape: ShapeT = None
+    dtype: Optional[str] = None        # one of the DSL dtype tokens
+    elements: Optional[Tuple["Value", ...]] = None  # literal/multi-out tuples
+
+
+_UNKNOWN_VALUE = Value()
+
+
+def _dtype_conflict(declared: Optional[str], actual: Optional[str]) -> bool:
+    """Provable dtype contradiction between a dtype class and a value."""
+    if declared in (None, "any") or actual in (None, "any"):
+        return False
+    d_fam = ("f" if declared in _FLOAT_CLASSES
+             else "i" if declared in _INT_CLASSES else declared)
+    a_fam = ("f" if actual in _FLOAT_CLASSES
+             else "i" if actual in _INT_CLASSES else actual)
+    if d_fam != a_fam:
+        return True
+    # same family: only a conflict when both widths are pinned
+    return (declared != actual
+            and declared not in ("f", "i") and actual not in ("f", "i"))
+
+
+def _promote_dtype(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    if "f64" in (a, b):
+        return "f64"
+    if a in _FLOAT_CLASSES and b in _FLOAT_CLASSES:
+        return "f"
+    if a in _FLOAT_CLASSES:
+        return a
+    if b in _FLOAT_CLASSES:
+        return b
+    return None
+
+
+# --------------------------------------------------------------------- #
+# decorated-function discovery
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class DecoratedFn:
+    node: ast.FunctionDef
+    decorator: ast.expr
+    contract: Contract
+    arg_names: Tuple[str, ...]
+    spec_error: Optional[str] = None
+    arity_error: Optional[str] = None
+
+
+def _contract_decorator(fn: ast.FunctionDef) -> Optional[Tuple[ast.expr, Optional[str]]]:
+    """(decorator node, spec string or None-if-dynamic) when present."""
+    for deco in fn.decorator_list:
+        if isinstance(deco, ast.Call) and terminal_name(deco.func) == "shape_contract":
+            if deco.args and isinstance(deco.args[0], ast.Constant) \
+                    and isinstance(deco.args[0].value, str):
+                return deco, deco.args[0].value
+            return deco, None
+    return None
+
+
+def _checkable_params(fn: ast.FunctionDef) -> List[str]:
+    args = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+    if args and args[0] in ("self", "cls"):
+        args = args[1:]
+    return args
+
+
+def decorated_functions(ctx: ModuleContext) -> List[DecoratedFn]:
+    """Every ``@shape_contract``-decorated function in the module."""
+    out: List[DecoratedFn] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        found = _contract_decorator(node)
+        if found is None:
+            continue
+        deco, spec = found
+        if spec is None:
+            continue  # dynamic spec: nothing to check statically
+        try:
+            contract = parse_contract(spec)
+        except ContractParseError as exc:
+            out.append(DecoratedFn(node, deco, Contract((), ()), (),
+                                   spec_error=str(exc)))
+            continue
+        params = _checkable_params(node)
+        entry = DecoratedFn(node, deco, contract,
+                            tuple(params[:len(contract.inputs)]))
+        if len(contract.inputs) > len(params):
+            entry.arity_error = (
+                f"contract declares {len(contract.inputs)} argument spec(s) "
+                f"but '{node.name}' only has {len(params)} checkable "
+                f"parameter(s)")
+        out.append(entry)
+    return out
+
+
+def _local_contract_table(decorated: Sequence[DecoratedFn]
+                          ) -> Dict[str, DecoratedFn]:
+    """bare function name -> contract, dropping ambiguous duplicates."""
+    table: Dict[str, DecoratedFn] = {}
+    dropped = set()
+    for entry in decorated:
+        if entry.spec_error or entry.arity_error:
+            continue
+        name = entry.node.name
+        if name in table and table[name].contract.spec != entry.contract.spec:
+            dropped.add(name)
+        table[name] = entry
+    for name in dropped:
+        table.pop(name, None)
+    return table
+
+
+# --------------------------------------------------------------------- #
+# the propagator
+# --------------------------------------------------------------------- #
+
+_ELEMENTWISE_METHODS = frozenset(
+    {"exp", "log", "log1p", "sqrt", "abs", "tanh", "sigmoid", "relu",
+     "clip", "copy", "detach", "numpy", "round", "conj"})
+_REDUCE_METHODS = frozenset(
+    {"sum", "mean", "max", "min", "prod", "std", "var", "norm",
+     "argmax", "argmin", "all", "any"})
+_NP_ELEMENTWISE = frozenset(
+    {"exp", "log", "log1p", "log2", "sqrt", "abs", "fabs", "tanh", "sin",
+     "cos", "sign", "floor", "ceil", "negative", "isnan", "isfinite",
+     "isinf", "logical_not", "clip", "ascontiguousarray"})
+_NP_BROADCAST2 = frozenset(
+    {"maximum", "minimum", "add", "subtract", "multiply", "divide",
+     "power", "hypot", "logaddexp", "fmax", "fmin"})
+_NP_REDUCE = frozenset(
+    {"sum", "mean", "max", "min", "amax", "amin", "prod", "std", "var",
+     "median", "argmax", "argmin", "count_nonzero", "all", "any"})
+
+
+_CONTROL_FLOW_STMTS = tuple(
+    getattr(ast, name) for name in
+    ("If", "For", "AsyncFor", "While", "Try", "TryStar", "Match")
+    if hasattr(ast, name))
+
+
+class _FunctionShapeChecker:
+    """Symbolic propagation through one decorated function body."""
+
+    def __init__(self, ctx: ModuleContext, entry: DecoratedFn,
+                 local: Dict[str, DecoratedFn],
+                 sink: List[Tuple[str, ast.AST, str]]):
+        self.ctx = ctx
+        self.entry = entry
+        self.fn = entry.node
+        self.local = local
+        self.sink = sink
+        self.env: Dict[str, Value] = {}
+        # output-only contract symbols become shared bindable variables
+        input_syms = set(entry.contract.input_symbols())
+        self.output_vars: Dict[str, Var] = {
+            name: Var(name)
+            for name in entry.contract.symbol_names()
+            if name not in input_syms and not name.startswith("...")
+        }
+        self._seed_parameters()
+
+    # -- plumbing ------------------------------------------------------ #
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.sink.append((rule, node, f"in '{self.fn.name}': {message}"))
+
+    def _seed_parameters(self) -> None:
+        for name, spec in zip(self.entry.arg_names,
+                              self.entry.contract.inputs):
+            self.env[name] = self._value_from_spec(spec, skolem=True)
+
+    def _value_from_spec(self, spec, skolem: bool) -> Value:
+        if not isinstance(spec, TensorSpec):
+            return _UNKNOWN_VALUE
+        if spec.ellipsis_index is not None:
+            # variadic shapes are not propagated symbolically (sound)
+            return Value(shape=None, dtype=self._spec_dtype(spec))
+        dims: List[DimT] = []
+        for dim in spec.dims:
+            if isinstance(dim, SymDim):
+                if skolem:
+                    dims.append(dim.name)
+                else:
+                    dims.append(self.output_vars.get(dim.name, UNKNOWN))
+            elif isinstance(dim, FixedDim):
+                dims.append(dim.value)
+            else:
+                dims.append(UNKNOWN)
+        return Value(shape=tuple(dims), dtype=self._spec_dtype(spec))
+
+    @staticmethod
+    def _spec_dtype(spec: TensorSpec) -> Optional[str]:
+        return None if spec.dtype == "any" else spec.dtype
+
+    # -- statement walk ------------------------------------------------ #
+
+    def run(self) -> None:
+        self._exec_block(self.fn.body)
+
+    def _exec_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                value = self._eval(stmt.value)
+                if len(stmt.targets) == 1:
+                    self._bind_target(stmt.targets[0], value)
+                else:
+                    for target in stmt.targets:
+                        self._invalidate(target)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    self._bind_target(stmt.target, self._eval(stmt.value))
+            elif isinstance(stmt, ast.AugAssign):
+                value = self._eval(stmt.value)
+                if isinstance(stmt.target, ast.Name):
+                    current = self.env.get(stmt.target.id, _UNKNOWN_VALUE)
+                    if isinstance(stmt.op, ast.MatMult):
+                        self.env[stmt.target.id] = self._matmul(
+                            current, value, stmt)
+                    else:
+                        self.env[stmt.target.id] = self._broadcast(
+                            current, value, stmt)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    self._check_return(stmt)
+            elif isinstance(stmt, ast.Expr):
+                self._eval(stmt.value)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        self._invalidate(item.optional_vars)
+                self._exec_block(stmt.body)
+            elif isinstance(stmt, _CONTROL_FLOW_STMTS):
+                # control flow: everything assigned inside becomes unknown
+                self._invalidate(stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                self.env[stmt.name] = _UNKNOWN_VALUE
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.env.pop(target.id, None)
+            # Pass/Assert/Raise/Import/Global/Nonlocal: no dataflow effect
+
+    def _bind_target(self, target: ast.expr, value: Value) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Tuple) and value.elements is not None \
+                and len(target.elts) == len(value.elements):
+            for elt, sub in zip(target.elts, value.elements):
+                self._bind_target(elt, sub)
+        elif isinstance(target, (ast.Tuple, ast.List, ast.Starred)):
+            self._invalidate(target)
+        # Subscript/Attribute stores don't change a tracked shape
+
+    def _invalidate(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                self.env[sub.id] = _UNKNOWN_VALUE
+
+    # -- return checking ----------------------------------------------- #
+
+    def _check_return(self, stmt: ast.Return) -> None:
+        outputs = self.entry.contract.outputs
+        value = self._eval(stmt.value)
+        if len(outputs) > 1:
+            if value.elements is None:
+                if isinstance(stmt.value, ast.Tuple):
+                    self._emit("RA501", stmt,
+                               f"contract declares {len(outputs)} outputs "
+                               f"but the return tuple has "
+                               f"{len(stmt.value.elts)} element(s)")
+                return
+            if len(value.elements) != len(outputs):
+                self._emit("RA501", stmt,
+                           f"contract declares {len(outputs)} outputs but "
+                           f"the return tuple has {len(value.elements)} "
+                           f"element(s)")
+                return
+            pairs = list(zip(outputs, value.elements))
+        else:
+            pairs = [(outputs[0], value)]
+        for i, (spec, val) in enumerate(pairs):
+            if not isinstance(spec, TensorSpec):
+                continue
+            where = ("return value" if len(pairs) == 1
+                     else f"return value [{i}]")
+            self._match_spec(spec, val, stmt, where, rule="RA501",
+                             skolem_inputs=True)
+
+    def _match_spec(self, spec: TensorSpec, value: Value, node: ast.AST,
+                    where: str, rule: str, skolem_inputs: bool,
+                    mapping: Optional[Dict[str, Var]] = None) -> None:
+        """Unify a value against a spec, emitting findings on conflicts."""
+        if _dtype_conflict(self._spec_dtype(spec), value.dtype):
+            self._emit("RA504", node,
+                       f"{where} has dtype class '{value.dtype}' but the "
+                       f"contract declares '{spec.dtype}'")
+        if value.shape is None:
+            return
+        dims = spec.dims
+        ell = spec.ellipsis_index
+        if ell is None:
+            if len(value.shape) != len(dims):
+                self._emit(rule, node,
+                           f"{where} has {len(value.shape)} dim(s) "
+                           f"{_render_shape(value.shape)} but the contract "
+                           f"declares {len(dims)}: {spec}")
+                return
+            pairs = list(zip(dims, value.shape))
+        else:
+            if len(value.shape) < spec.min_ndim:
+                self._emit(rule, node,
+                           f"{where} has {len(value.shape)} dim(s) "
+                           f"{_render_shape(value.shape)} but the contract "
+                           f"requires at least {spec.min_ndim}: {spec}")
+                return
+            head = dims[:ell]
+            tail = dims[ell + 1:]
+            pairs = list(zip(head, value.shape[:len(head)]))
+            if tail:
+                pairs += list(zip(tail, value.shape[-len(tail):]))
+        for dim, actual in pairs:
+            declared = self._spec_dim(dim, skolem_inputs, mapping)
+            ok, _ = _unify_exact(declared, actual)
+            if not ok:
+                self._emit(rule, node,
+                           f"{where} shape {_render_shape(value.shape)} "
+                           f"contradicts declared {spec}: dim "
+                           f"'{_render_dim(declared)}' vs "
+                           f"'{_render_dim(actual)}'")
+                return
+
+    def _spec_dim(self, dim, skolem_inputs: bool,
+                  mapping: Optional[Dict[str, Var]]) -> DimT:
+        if isinstance(dim, FixedDim):
+            return dim.value
+        if isinstance(dim, SymDim):
+            if mapping is not None:
+                return mapping.setdefault(dim.name, Var(dim.name))
+            if skolem_inputs and dim.name not in self.output_vars:
+                return dim.name
+            return self.output_vars.get(dim.name, UNKNOWN)
+        return UNKNOWN
+
+    # -- expression evaluation ----------------------------------------- #
+
+    def _eval(self, node: ast.expr) -> Value:
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return _UNKNOWN_VALUE
+
+    def _eval_Name(self, node: ast.Name) -> Value:
+        return self.env.get(node.id, _UNKNOWN_VALUE)
+
+    def _eval_Constant(self, node: ast.Constant) -> Value:
+        if isinstance(node.value, bool):
+            return Value(shape=(), dtype="b")
+        if isinstance(node.value, (int, float)):
+            # dtype None: python scalars follow value-based casting
+            return Value(shape=())
+        return _UNKNOWN_VALUE
+
+    def _eval_Tuple(self, node: ast.Tuple) -> Value:
+        return Value(elements=tuple(self._eval(e) for e in node.elts))
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> Value:
+        operand = self._eval(node.operand)
+        if isinstance(node.op, ast.Not):
+            return Value(shape=operand.shape, dtype="b")
+        return operand
+
+    def _eval_BinOp(self, node: ast.BinOp) -> Value:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        if isinstance(node.op, ast.MatMult):
+            return self._matmul(left, right, node)
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div,
+                                ast.FloorDiv, ast.Mod, ast.Pow)):
+            return self._broadcast(left, right, node)
+        return _UNKNOWN_VALUE
+
+    def _eval_Compare(self, node: ast.Compare) -> Value:
+        value = self._eval(node.left)
+        for comparator in node.comparators:
+            value = self._broadcast(value, self._eval(comparator), node)
+        return Value(shape=value.shape, dtype="b")
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> Value:
+        for sub in node.values:
+            self._eval(sub)
+        return _UNKNOWN_VALUE
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Value:
+        self._eval(node.test)
+        a = self._eval(node.body)
+        b = self._eval(node.orelse)
+        if a.shape is not None and a.shape == b.shape:
+            return Value(shape=a.shape, dtype=_promote_dtype(a.dtype, b.dtype))
+        return _UNKNOWN_VALUE
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Value:
+        if node.attr == "T":
+            recv = self._eval(node.value)
+            if recv.shape is not None:
+                return Value(shape=tuple(reversed(recv.shape)),
+                             dtype=recv.dtype)
+            return Value(dtype=recv.dtype)
+        if node.attr == "data":
+            return self._eval(node.value)
+        if node.attr in ("ndim", "size"):
+            return Value(shape=(), dtype="i")
+        return _UNKNOWN_VALUE
+
+    def _eval_Subscript(self, node: ast.Subscript) -> Value:
+        # x.shape[i] is a scalar int, whatever i is
+        if isinstance(node.value, ast.Attribute) and node.value.attr == "shape":
+            self._eval(node.value.value)
+            return Value(shape=(), dtype="i")
+        recv = self._eval(node.value)
+        if recv.elements is not None and isinstance(node.slice, ast.Constant) \
+                and isinstance(node.slice.value, int):
+            idx = node.slice.value
+            if -len(recv.elements) <= idx < len(recv.elements):
+                return recv.elements[idx]
+        if recv.shape is None:
+            self._eval_index_side_effects(node.slice)
+            return _UNKNOWN_VALUE
+        parts = (list(node.slice.elts) if isinstance(node.slice, ast.Tuple)
+                 else [node.slice])
+        out: List[DimT] = []
+        axis = 0
+        for part in parts:
+            if isinstance(part, ast.Constant) and part.value is None:
+                out.append(1)
+                continue
+            if axis >= len(recv.shape):
+                return _UNKNOWN_VALUE
+            if isinstance(part, ast.Slice):
+                if part.lower is None and part.upper is None \
+                        and part.step is None:
+                    out.append(recv.shape[axis])
+                else:
+                    for sub in (part.lower, part.upper, part.step):
+                        if sub is not None:
+                            self._eval(sub)
+                    out.append(UNKNOWN)
+                axis += 1
+                continue
+            if isinstance(part, ast.Constant) and isinstance(part.value, int):
+                axis += 1  # integer index drops the axis
+                continue
+            index = self._eval(part)
+            if index.shape == ():
+                axis += 1  # scalar variable index drops the axis
+                continue
+            if index.dtype == "b" and index.shape is not None \
+                    and len(index.shape) == 1 and len(parts) == 1:
+                out.append(UNKNOWN)  # 1-D boolean mask over the first axis
+                axis += 1
+                continue
+            return _UNKNOWN_VALUE  # fancy indexing: give up soundly
+        out.extend(recv.shape[axis:])
+        return Value(shape=tuple(out), dtype=recv.dtype)
+
+    def _eval_index_side_effects(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Tuple):
+            for elt in node.elts:
+                self._eval_index_side_effects(elt)
+        elif isinstance(node, ast.Slice):
+            for sub in (node.lower, node.upper, node.step):
+                if sub is not None:
+                    self._eval(sub)
+        else:
+            self._eval(node)
+
+    # -- operators ------------------------------------------------------ #
+
+    def _broadcast(self, left: Value, right: Value,
+                   node: ast.AST) -> Value:
+        dtype = _promote_dtype(left.dtype, right.dtype)
+        if left.shape is None or right.shape is None:
+            return Value(dtype=dtype)
+        a, b = left.shape, right.shape
+        out: List[DimT] = []
+        for i in range(1, max(len(a), len(b)) + 1):
+            da = a[-i] if i <= len(a) else 1
+            db = b[-i] if i <= len(b) else 1
+            ok, dim = _unify_broadcast(da, db)
+            if not ok:
+                self._emit("RA501", node,
+                           f"elementwise operands {_render_shape(a)} and "
+                           f"{_render_shape(b)} cannot broadcast: dim "
+                           f"'{_render_dim(da)}' vs '{_render_dim(db)}'")
+                return Value(dtype=dtype)
+            out.append(dim)
+        return Value(shape=tuple(reversed(out)), dtype=dtype)
+
+    def _matmul(self, left: Value, right: Value, node: ast.AST) -> Value:
+        dtype = _promote_dtype(left.dtype, right.dtype)
+        if left.shape is None or right.shape is None:
+            return Value(dtype=dtype)
+        a, b = left.shape, right.shape
+        if len(a) == 0 or len(b) == 0:
+            return Value(dtype=dtype)
+        def fail(da: DimT, db: DimT) -> Value:
+            self._emit("RA501", node,
+                       f"matmul inner dimensions disagree: "
+                       f"{_render_shape(a)} @ {_render_shape(b)} "
+                       f"('{_render_dim(da)}' vs '{_render_dim(db)}')")
+            return Value(dtype=dtype)
+        if len(a) == 1 and len(b) == 1:
+            ok, _ = _unify_exact(a[0], b[0])
+            return Value(shape=(), dtype=dtype) if ok else fail(a[0], b[0])
+        if len(b) == 1:
+            ok, _ = _unify_exact(a[-1], b[0])
+            return (Value(shape=a[:-1], dtype=dtype) if ok
+                    else fail(a[-1], b[0]))
+        if len(a) == 1:
+            ok, _ = _unify_exact(a[0], b[-2])
+            return (Value(shape=b[:-2] + (b[-1],), dtype=dtype) if ok
+                    else fail(a[0], b[-2]))
+        ok, _ = _unify_exact(a[-1], b[-2])
+        if not ok:
+            return fail(a[-1], b[-2])
+        batch = self._broadcast(Value(shape=a[:-2]), Value(shape=b[:-2]),
+                                node)
+        if batch.shape is None:
+            return Value(dtype=dtype)
+        return Value(shape=batch.shape + (a[-2], b[-1]), dtype=dtype)
+
+    # -- calls ---------------------------------------------------------- #
+
+    def _eval_Call(self, node: ast.Call) -> Value:
+        argvals = [self._eval(a) for a in node.args
+                   if not isinstance(a, ast.Starred)]
+        kwvals = {kw.arg: self._eval(kw.value) for kw in node.keywords
+                  if kw.arg is not None}
+        name = terminal_name(node.func)
+        dotted = dotted_name(node.func)
+
+        # numpy namespace --------------------------------------------- #
+        if dotted is not None and dotted.split(".", 1)[0] in ("np", "numpy"):
+            result = self._eval_numpy(node, dotted, argvals, kwvals)
+            if result is not _UNKNOWN_VALUE:
+                return result
+            # not natively modelled: fall back to a registered external
+            # contract (e.g. np.outer) so call sites are still unified
+            external = self._external_contract(dotted)
+            if external is not None:
+                return self._apply_external(node, dotted, external, argvals)
+            return result
+
+        # contracted local callees ------------------------------------ #
+        if isinstance(node.func, ast.Name) and node.func.id in self.local \
+                and node.func.id != self.fn.name:
+            return self._apply_contract(node, self.local[node.func.id],
+                                        argvals, kwvals)
+
+        # registered external contracts ------------------------------- #
+        external = self._external_contract(dotted)
+        if external is not None:
+            return self._apply_external(node, dotted, external, argvals)
+
+        # substrate constructors / conversions ------------------------ #
+        if name == "Tensor" and len(argvals) >= 1:
+            return Value(shape=argvals[0].shape, dtype="f64")
+        if name in ("concat", "concatenate", "stack"):
+            return self._eval_concat(node, name)
+        if name in ("int", "len", "round"):
+            return Value(shape=(), dtype="i")
+        if name == "float":
+            return Value(shape=(), dtype="f64")
+        if name == "bool":
+            return Value(shape=(), dtype="b")
+
+        # method calls on a known-value receiver ----------------------- #
+        if isinstance(node.func, ast.Attribute):
+            recv = self._eval(node.func.value)
+            return self._eval_method(node, node.func.attr, recv, argvals,
+                                     kwvals)
+        return _UNKNOWN_VALUE
+
+    def _external_contract(self, dotted: Optional[str]) -> Optional[Contract]:
+        if dotted is None:
+            return None
+        candidates = [dotted]
+        if dotted.startswith("numpy."):
+            candidates.append("np." + dotted[len("numpy."):])
+        elif dotted.startswith("np."):
+            candidates.append("numpy." + dotted[len("np."):])
+        for key in candidates:
+            spec = EXTERNAL_CONTRACTS.get(key)
+            if spec is not None:
+                try:
+                    return parse_contract(spec)
+                except ContractParseError:
+                    return None
+        return None
+
+    def _apply_contract(self, node: ast.Call, callee: DecoratedFn,
+                        argvals: List[Value],
+                        kwvals: Dict[str, Value]) -> Value:
+        contract = callee.contract
+        mapping: Dict[str, Var] = {}
+        # positional args, then keywords matched to the callee's params
+        supplied: List[Tuple[int, Value]] = list(enumerate(argvals))
+        for kw_name, val in kwvals.items():
+            if kw_name in callee.arg_names:
+                supplied.append((callee.arg_names.index(kw_name), val))
+        for index, val in supplied:
+            if index >= len(contract.inputs):
+                continue
+            spec = contract.inputs[index]
+            if not isinstance(spec, TensorSpec):
+                continue
+            arg_label = (callee.arg_names[index]
+                         if index < len(callee.arg_names) else str(index))
+            self._match_spec(
+                spec, val, node,
+                f"argument '{arg_label}' of contracted "
+                f"'{callee.node.name}'",
+                rule="RA503", skolem_inputs=False, mapping=mapping)
+        return self._contract_outputs(contract, mapping)
+
+    def _apply_external(self, node: ast.Call, dotted: str,
+                        contract: Contract,
+                        argvals: List[Value]) -> Value:
+        mapping: Dict[str, Var] = {}
+        for index, val in enumerate(argvals):
+            if index >= len(contract.inputs):
+                break
+            spec = contract.inputs[index]
+            if not isinstance(spec, TensorSpec):
+                continue
+            self._match_spec(
+                spec, val, node,
+                f"argument {index} of '{dotted}'",
+                rule="RA503", skolem_inputs=False, mapping=mapping)
+        return self._contract_outputs(contract, mapping)
+
+    def _contract_outputs(self, contract: Contract,
+                          mapping: Dict[str, Var]) -> Value:
+        outs: List[Value] = []
+        for spec in contract.outputs:
+            if not isinstance(spec, TensorSpec) \
+                    or spec.ellipsis_index is not None:
+                outs.append(_UNKNOWN_VALUE)
+                continue
+            dims: List[DimT] = []
+            for dim in spec.dims:
+                if isinstance(dim, SymDim):
+                    resolved = _resolve(mapping.setdefault(dim.name,
+                                                           Var(dim.name)))
+                    dims.append(UNKNOWN if isinstance(resolved, Var)
+                                else resolved)
+                elif isinstance(dim, FixedDim):
+                    dims.append(dim.value)
+                else:
+                    dims.append(UNKNOWN)
+            outs.append(Value(shape=tuple(dims),
+                              dtype=self._spec_dtype(spec)))
+        if len(outs) == 1:
+            return outs[0]
+        return Value(elements=tuple(outs))
+
+    # -- numpy modelling ------------------------------------------------ #
+
+    def _eval_numpy(self, node: ast.Call, dotted: str,
+                    argvals: List[Value],
+                    kwvals: Dict[str, Value]) -> Value:
+        tail = dotted.split(".", 1)[1] if "." in dotted else ""
+        first = argvals[0] if argvals else _UNKNOWN_VALUE
+        if tail in _NP_ELEMENTWISE:
+            return first
+        if tail in _NP_BROADCAST2 and len(argvals) >= 2:
+            return self._broadcast(argvals[0], argvals[1], node)
+        if tail == "where" and len(argvals) == 3:
+            out = self._broadcast(argvals[1], argvals[2], node)
+            return self._broadcast(argvals[0], out, node)
+        if tail in _NP_REDUCE and argvals:
+            reduced = self._reduce(first, node)
+            if tail in ("argmax", "argmin", "count_nonzero", "all", "any"):
+                return Value(shape=reduced.shape,
+                             dtype="i" if tail.startswith(("arg", "count"))
+                             else "b")
+            return reduced
+        if tail in ("asarray", "array"):
+            dtype = self._dtype_from_kw(node)
+            return Value(shape=first.shape, dtype=dtype or first.dtype)
+        if tail in ("zeros", "ones", "empty", "full"):
+            shape = self._shape_literal(node.args[0]) if node.args else None
+            dtype = self._dtype_from_kw(node) or "f64"
+            return Value(shape=shape, dtype=dtype)
+        if tail in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            return Value(shape=first.shape,
+                         dtype=self._dtype_from_kw(node) or first.dtype)
+        if tail == "linalg.norm":
+            return self._reduce(first, node)
+        if tail == "linalg.svd":
+            return self._eval_svd(node, first)
+        if tail == "linalg.pinv":
+            if first.shape is not None and len(first.shape) == 2:
+                return Value(shape=(first.shape[1], first.shape[0]),
+                             dtype=first.dtype)
+            return _UNKNOWN_VALUE
+        if tail == "linalg.inv":
+            return first
+        if tail in ("concatenate", "vstack", "hstack", "stack"):
+            return self._eval_concat(node, tail)
+        if tail == "dot" and len(argvals) == 2:
+            return self._matmul(argvals[0], argvals[1], node)
+        if tail == "matmul" and len(argvals) == 2:
+            return self._matmul(argvals[0], argvals[1], node)
+        if tail == "broadcast_to" and len(node.args) == 2:
+            return Value(shape=self._shape_literal(node.args[1]),
+                         dtype=first.dtype)
+        if tail == "allclose" or tail == "array_equal":
+            return Value(shape=(), dtype="b")
+        if tail == "expand_dims" and len(node.args) == 2:
+            axis = self._const_int(node.args[1])
+            return self._insert_axis(first, axis)
+        if tail == "squeeze":
+            return _UNKNOWN_VALUE
+        return _UNKNOWN_VALUE
+
+    def _eval_svd(self, node: ast.Call, first: Value) -> Value:
+        full = True
+        for kw in node.keywords:
+            if kw.arg == "full_matrices" and isinstance(kw.value, ast.Constant):
+                full = bool(kw.value.value)
+        if first.shape is not None and len(first.shape) == 2:
+            m, n = first.shape
+            r: DimT = Var("rank")
+            if full:
+                shapes = [(m, m), (r,), (n, n)]
+            else:
+                shapes = [(m, r), (r,), (r, n)]
+            return Value(elements=tuple(
+                Value(shape=tuple(s), dtype=first.dtype) for s in shapes))
+        return Value(elements=(_UNKNOWN_VALUE,) * 3)
+
+    def _eval_concat(self, node: ast.Call, name: str) -> Value:
+        """concatenate/stack/concat: unify non-axis dims of literal lists."""
+        if not node.args:
+            return _UNKNOWN_VALUE
+        seq = node.args[0]
+        axis = 0
+        if len(node.args) > 1:
+            axis_val = self._const_int(node.args[1])
+            axis = axis_val if axis_val is not None else None
+        for kw in node.keywords:
+            if kw.arg == "axis":
+                axis = self._const_int(kw.value)
+        if not isinstance(seq, (ast.List, ast.Tuple)):
+            self._eval(seq)
+            return _UNKNOWN_VALUE
+        parts = [self._eval(e) for e in seq.elts]
+        if name in ("vstack", "hstack"):
+            return _UNKNOWN_VALUE
+        known = [p.shape for p in parts if p.shape is not None]
+        if axis is None or len(known) != len(parts) or not known:
+            return _UNKNOWN_VALUE
+        ndim = len(known[0])
+        if any(len(s) != ndim for s in known):
+            return _UNKNOWN_VALUE
+        if name == "stack":
+            if not (-ndim - 1 <= axis <= ndim):
+                return _UNKNOWN_VALUE
+            axis = axis % (ndim + 1)
+            dims = list(known[0])
+            for other in known[1:]:
+                for i in range(ndim):
+                    ok, dims[i] = _unify_exact(dims[i], other[i])
+                    if not ok:
+                        self._emit("RA501", node,
+                                   f"stacked operands disagree: "
+                                   f"{_render_shape(known[0])} vs "
+                                   f"{_render_shape(other)}")
+                        return _UNKNOWN_VALUE
+            dims.insert(axis, len(parts))
+            return Value(shape=tuple(dims))
+        if not (-ndim <= axis < ndim):
+            return _UNKNOWN_VALUE
+        axis = axis % ndim
+        dims = list(known[0])
+        for other in known[1:]:
+            for i in range(ndim):
+                if i == axis:
+                    continue
+                ok, dims[i] = _unify_exact(dims[i], other[i])
+                if not ok:
+                    self._emit("RA501", node,
+                               f"concatenated operands disagree on a "
+                               f"non-axis dim: {_render_shape(known[0])} "
+                               f"vs {_render_shape(other)} (axis={axis})")
+                    return _UNKNOWN_VALUE
+        dims[axis] = UNKNOWN  # sizes add along the axis
+        dtype = parts[0].dtype
+        for p in parts[1:]:
+            dtype = _promote_dtype(dtype, p.dtype)
+        return Value(shape=tuple(dims), dtype=dtype)
+
+    # -- methods --------------------------------------------------------- #
+
+    def _eval_method(self, node: ast.Call, method: str, recv: Value,
+                     argvals: List[Value],
+                     kwvals: Dict[str, Value]) -> Value:
+        if method in _ELEMENTWISE_METHODS:
+            return recv
+        if method == "astype":
+            return Value(shape=recv.shape,
+                         dtype=self._dtype_token(node.args[0])
+                         if node.args else None)
+        if method in _REDUCE_METHODS:
+            reduced = self._reduce(recv, node)
+            if method in ("argmax", "argmin"):
+                return Value(shape=reduced.shape, dtype="i")
+            if method in ("all", "any"):
+                return Value(shape=reduced.shape, dtype="b")
+            return reduced
+        if method == "item":
+            return Value(shape=())
+        if method == "reshape":
+            args = node.args
+            if len(args) == 1 and isinstance(args[0], ast.Tuple):
+                args = list(args[0].elts)
+            dims: List[DimT] = []
+            for arg in args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                    dims.append(UNKNOWN if arg.value == -1 else arg.value)
+                elif isinstance(arg, (ast.Name, ast.Attribute, ast.Subscript,
+                                      ast.UnaryOp)):
+                    dims.append(UNKNOWN)
+                else:
+                    return _UNKNOWN_VALUE
+            return Value(shape=tuple(dims), dtype=recv.dtype)
+        if method == "transpose":
+            if recv.shape is None:
+                return recv
+            if not node.args:
+                return Value(shape=tuple(reversed(recv.shape)),
+                             dtype=recv.dtype)
+            axes = [self._const_int(a) for a in node.args]
+            if len(axes) == 1 and isinstance(node.args[0], ast.Tuple):
+                axes = [self._const_int(a) for a in node.args[0].elts]
+            if None in axes or sorted(a % len(recv.shape) for a in axes) \
+                    != list(range(len(recv.shape))):
+                return Value(dtype=recv.dtype)
+            return Value(shape=tuple(recv.shape[a % len(recv.shape)]
+                                     for a in axes), dtype=recv.dtype)
+        if method == "swapaxes" and len(node.args) == 2 \
+                and recv.shape is not None:
+            i, j = (self._const_int(a) for a in node.args)
+            if i is None or j is None:
+                return Value(dtype=recv.dtype)
+            dims = list(recv.shape)
+            ndim = len(dims)
+            if not (-ndim <= i < ndim and -ndim <= j < ndim):
+                return Value(dtype=recv.dtype)
+            dims[i % ndim], dims[j % ndim] = dims[j % ndim], dims[i % ndim]
+            return Value(shape=tuple(dims), dtype=recv.dtype)
+        if method == "squeeze" and recv.shape is not None and node.args:
+            axis = self._const_int(node.args[0])
+            if axis is not None and -len(recv.shape) <= axis < len(recv.shape):
+                dims = list(recv.shape)
+                dims.pop(axis % len(dims))
+                return Value(shape=tuple(dims), dtype=recv.dtype)
+            return Value(dtype=recv.dtype)
+        if method == "expand_dims" and node.args:
+            return self._insert_axis(recv, self._const_int(node.args[0]))
+        return _UNKNOWN_VALUE
+
+    def _insert_axis(self, value: Value, axis: Optional[int]) -> Value:
+        if value.shape is None or axis is None:
+            return Value(dtype=value.dtype)
+        ndim = len(value.shape)
+        if not (-ndim - 1 <= axis <= ndim):
+            return Value(dtype=value.dtype)
+        dims = list(value.shape)
+        dims.insert(axis % (ndim + 1), 1)
+        return Value(shape=tuple(dims), dtype=value.dtype)
+
+    def _reduce(self, value: Value, node: ast.Call) -> Value:
+        """Shape of a sum/mean/max/... call given axis=/keepdims= consts."""
+        axis_node: Optional[ast.expr] = None
+        keepdims = False
+        keepdims_known = True
+        # axis may be the first positional arg (after the array for np.sum)
+        positional = list(node.args)
+        if positional and isinstance(node.func, ast.Attribute) \
+                and dotted_name(node.func) is not None \
+                and dotted_name(node.func).split(".", 1)[0] in ("np", "numpy"):
+            positional = positional[1:]  # np.sum(x, axis)
+        if positional:
+            axis_node = positional[0]
+        for kw in node.keywords:
+            if kw.arg == "axis":
+                axis_node = kw.value
+            elif kw.arg == "keepdims":
+                if isinstance(kw.value, ast.Constant):
+                    keepdims = bool(kw.value.value)
+                else:
+                    keepdims_known = False
+        if not keepdims_known or value.shape is None:
+            return Value(dtype=value.dtype)
+        if axis_node is None or (isinstance(axis_node, ast.Constant)
+                                 and axis_node.value is None):
+            if keepdims:
+                return Value(shape=(1,) * len(value.shape),
+                             dtype=value.dtype)
+            return Value(shape=(), dtype=value.dtype)
+        axes: List[int] = []
+        candidates = (axis_node.elts if isinstance(axis_node, ast.Tuple)
+                      else [axis_node])
+        for cand in candidates:
+            axis = self._const_int(cand)
+            if axis is None:
+                return Value(dtype=value.dtype)
+            axes.append(axis)
+        ndim = len(value.shape)
+        norm = set()
+        for axis in axes:
+            if not (-ndim <= axis < ndim):
+                return Value(dtype=value.dtype)
+            norm.add(axis % ndim)
+        dims: List[DimT] = []
+        for i, dim in enumerate(value.shape):
+            if i in norm:
+                if keepdims:
+                    dims.append(1)
+            else:
+                dims.append(dim)
+        return Value(shape=tuple(dims), dtype=value.dtype)
+
+    @staticmethod
+    def _const_int(node: ast.expr) -> Optional[int]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return node.value
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub) \
+                and isinstance(node.operand, ast.Constant) \
+                and isinstance(node.operand.value, int):
+            return -node.operand.value
+        return None
+
+    _DTYPE_NAMES = {
+        "float32": "f32", "float64": "f64", "float": "f64",
+        "single": "f32", "double": "f64",
+        "int32": "i32", "int64": "i64", "int": "i64",
+        "bool": "b", "bool_": "b",
+    }
+
+    def _dtype_token(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return self._DTYPE_NAMES.get(node.value)
+        if isinstance(node, ast.Attribute):
+            return self._DTYPE_NAMES.get(node.attr)
+        if isinstance(node, ast.Name):
+            return self._DTYPE_NAMES.get(node.id)
+        return None
+
+    def _dtype_from_kw(self, node: ast.Call) -> Optional[str]:
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return self._dtype_token(kw.value)
+        return None
+
+    def _shape_literal(self, node: ast.expr) -> ShapeT:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return (node.value,)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            dims: List[DimT] = []
+            for elt in node.elts:
+                value = self._const_int(elt)
+                if value is not None:
+                    dims.append(value)
+                elif isinstance(elt, (ast.Name, ast.Attribute, ast.Subscript,
+                                      ast.Call)):
+                    dims.append(UNKNOWN)
+                else:
+                    return None
+            return tuple(dims)
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return None  # a variable shape tuple: rank unknown
+        return None
+
+
+# --------------------------------------------------------------------- #
+# module-level driver + rules
+# --------------------------------------------------------------------- #
+
+
+def shape_findings(ctx: ModuleContext) -> List[Tuple[str, ast.AST, str]]:
+    """All RA5xx findings for one module (rule id, node, message)."""
+    decorated = decorated_functions(ctx)
+    if not decorated:
+        return []
+    sink: List[Tuple[str, ast.AST, str]] = []
+    for entry in decorated:
+        if entry.spec_error is not None:
+            sink.append(("RA502", entry.decorator,
+                         f"invalid @shape_contract spec on "
+                         f"'{entry.node.name}': {entry.spec_error}"))
+        elif entry.arity_error is not None:
+            sink.append(("RA502", entry.decorator,
+                         f"@shape_contract on '{entry.node.name}': "
+                         f"{entry.arity_error}"))
+    table = _local_contract_table(decorated)
+    for entry in decorated:
+        if entry.spec_error is not None or entry.arity_error is not None:
+            continue
+        checker = _FunctionShapeChecker(ctx, entry, table, sink)
+        checker.run()
+    return sink
+
+
+class _ShapeRule(Rule):
+    """Shared machinery: run the propagator, keep this rule's findings."""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for rule_id, node, message in shape_findings(ctx):
+            if rule_id == self.id:
+                yield self.finding(ctx, node, message)
+
+
+@register
+class ShapeContradiction(_ShapeRule):
+    """RA501: symbolic shape contradiction inside a decorated function."""
+
+    id = "RA501"
+    name = "shape-contradiction"
+    severity = SEVERITY_ERROR
+    summary = ("symbolic shape contradiction (matmul/broadcast/return) "
+               "inside a @shape_contract function")
+
+
+@register
+class InvalidContractSpec(_ShapeRule):
+    """RA502: the @shape_contract spec itself is broken."""
+
+    id = "RA502"
+    name = "invalid-contract-spec"
+    severity = SEVERITY_ERROR
+    summary = ("unparseable @shape_contract spec string or arity mismatch "
+               "with the function signature")
+
+
+@register
+class ContractCallMismatch(_ShapeRule):
+    """RA503: a call to a contracted function contradicts its contract."""
+
+    id = "RA503"
+    name = "contract-call-mismatch"
+    severity = SEVERITY_ERROR
+    summary = ("argument shapes at a call site contradict the callee's "
+               "@shape_contract (or a registered external contract)")
+
+
+@register
+class ContractDtypeMismatch(_ShapeRule):
+    """RA504: inferred dtype class conflicts with a declared one."""
+
+    id = "RA504"
+    name = "contract-dtype-mismatch"
+    severity = SEVERITY_WARNING
+    summary = ("inferred dtype class (e.g. an f32 downcast) contradicts "
+               "the contract's declared dtype")

@@ -15,6 +15,8 @@ Commands
     Inspect a checkpoint written by :mod:`repro.persistence`.
 ``lint [PATHS...]``
     Run the repository's static-analysis rules (:mod:`repro.analysis`).
+``contracts list``
+    Show every registered ``@shape_contract`` (:mod:`repro.contracts`).
 """
 
 from __future__ import annotations
@@ -80,13 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser("lint", help="run the static-analysis rules")
     p_lint.add_argument("paths", nargs="*",
                         help="files/directories to analyze (default: src)")
-    p_lint.add_argument("--format", choices=("text", "json"), default="text",
-                        dest="fmt")
+    p_lint.add_argument("--format", choices=("text", "json", "github"),
+                        default="text", dest="fmt")
     p_lint.add_argument("--select", default=None, metavar="RULES")
     p_lint.add_argument("--baseline", default=None, metavar="FILE")
     p_lint.add_argument("--no-baseline", action="store_true")
+    p_lint.add_argument("--exclude", action="append", default=[],
+                        metavar="NAME")
     p_lint.add_argument("--write-baseline", action="store_true")
     p_lint.add_argument("--list-rules", action="store_true")
+
+    p_contracts = sub.add_parser(
+        "contracts", help="inspect the shape-contract registry")
+    contracts_sub = p_contracts.add_subparsers(dest="contracts_command",
+                                               required=True)
+    contracts_sub.add_parser("list", help="print every registered contract")
 
     return parser
 
@@ -182,11 +192,34 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--baseline", args.baseline]
     if args.no_baseline:
         argv.append("--no-baseline")
+    for name in args.exclude:
+        argv += ["--exclude", name]
     if args.write_baseline:
         argv.append("--write-baseline")
     if args.list_rules:
         argv.append("--list-rules")
     return analysis_main(argv)
+
+
+def cmd_contracts(args: argparse.Namespace) -> int:
+    from .contracts import checking_enabled, load_annotated, registry_rows
+
+    if args.contracts_command == "list":
+        load_annotated()
+        rows = registry_rows()
+        if not rows:
+            print("no registered contracts")
+            return 0
+        width_mod = max(len(m) for m, _, _ in rows)
+        width_fn = max(len(q) for _, q, _ in rows)
+        for module, qualname, spec in rows:
+            print(f"{module:<{width_mod}}  {qualname:<{width_fn}}  {spec}")
+        state = "on" if checking_enabled() else "off"
+        print(f"{len(rows)} contract(s); runtime enforcement is {state} "
+              f"(REPRO_CHECK_SHAPES / repro.contracts.enforce)")
+        return 0
+    raise AssertionError(
+        f"unhandled contracts command {args.contracts_command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -203,6 +236,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_checkpoint_info(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "contracts":
+        return cmd_contracts(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

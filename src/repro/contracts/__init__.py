@@ -1,0 +1,63 @@
+"""Shape/dtype contracts for the numpy substrate.
+
+Numpy broadcasting silently turns shape mistakes into plausible-but-wrong
+numbers.  This package gives every geometry-critical function a compact,
+machine-checked contract::
+
+    from repro.contracts import shape_contract
+
+    @shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+    def affinity(items, interests):
+        return items @ interests.T
+
+One declarative spec feeds two enforcement layers:
+
+* **static** — ``repro lint`` (rules RA501–RA504 in
+  :mod:`repro.analysis.shapes`) propagates the symbolic dims through the
+  function body and flags contradictions at build time;
+* **runtime** — :func:`enforce` / ``REPRO_CHECK_SHAPES=1`` checks the
+  same specs against concrete shapes at call boundaries, catching the
+  fuzzy cases the static pass soundly skips.
+
+``repro contracts list`` prints the registry.
+"""
+
+from .runtime import (
+    CONTRACT_REGISTRY,
+    EXTERNAL_CONTRACTS,
+    ContractDefinitionError,
+    ContractEntry,
+    ContractViolation,
+    checking_enabled,
+    contract_for,
+    enforce,
+    enforced,
+    load_annotated,
+    register_external,
+    registry_rows,
+    shape_contract,
+)
+from .spec import (
+    Contract,
+    ContractParseError,
+    parse_contract,
+)
+
+__all__ = [
+    "CONTRACT_REGISTRY",
+    "Contract",
+    "ContractDefinitionError",
+    "ContractEntry",
+    "ContractParseError",
+    "ContractViolation",
+    "EXTERNAL_CONTRACTS",
+    "checking_enabled",
+    "contract_for",
+    "enforce",
+    "enforced",
+    "load_annotated",
+    "parse_contract",
+    "register_external",
+    "registry_rows",
+    "shape_contract",
+]

@@ -6,7 +6,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..contracts import shape_contract
 
+
+@shape_contract("(N) f, (), _ -> () i")
 def rank_of_target(scores: np.ndarray, target: int,
                    exclude: Optional[Sequence[int]] = None) -> int:
     """0-based rank of ``target`` under descending ``scores``.
@@ -24,11 +27,13 @@ def rank_of_target(scores: np.ndarray, target: int,
     return int(np.count_nonzero(scores[mask] >= target_score))
 
 
+@shape_contract("(), () -> () f")
 def hit_at_k(rank: int, k: int = 20) -> float:
     """1.0 if the 0-based ``rank`` falls inside the top-``k`` else 0.0."""
     return 1.0 if rank < k else 0.0
 
 
+@shape_contract("(), () -> () f")
 def ndcg_at_k(rank: int, k: int = 20) -> float:
     """NDCG@k with a single relevant item: ``1 / log2(rank + 2)`` if hit."""
     if rank >= k:
@@ -36,6 +41,7 @@ def ndcg_at_k(rank: int, k: int = 20) -> float:
     return 1.0 / np.log2(rank + 2.0)
 
 
+@shape_contract("(N) f, (), _, _ -> (), ()")
 def metrics_at_k(scores: np.ndarray, target: int, k: int = 20,
                  exclude: Optional[Sequence[int]] = None) -> tuple:
     """Convenience: ``(hit@k, ndcg@k)`` for one test instance."""

@@ -13,8 +13,10 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..autograd.ops import softmax
+from ..contracts import shape_contract
 
 
+@shape_contract("(K, D) f, (D) f -> (D) f")
 def aggregate_interests(interests: Tensor, target_emb: Tensor) -> Tensor:
     """Eq. 5: attention-weighted sum of interest vectors.
 
@@ -25,6 +27,7 @@ def aggregate_interests(interests: Tensor, target_emb: Tensor) -> Tensor:
     return beta @ interests
 
 
+@shape_contract("(K, D) f, (D) f -> (K) f")
 def attention_scores(interests: np.ndarray, target_emb: np.ndarray) -> np.ndarray:
     """Softmax attention of a target item over interests (numpy, no grad).
 
@@ -37,6 +40,7 @@ def attention_scores(interests: np.ndarray, target_emb: np.ndarray) -> np.ndarra
     return exp / exp.sum()
 
 
+@shape_contract("(K, D) f, (N, D) f -> (N) f")
 def score_items(interests: np.ndarray, item_embeddings: np.ndarray) -> np.ndarray:
     """Max-over-interests retrieval scores for every item (numpy, no grad).
 

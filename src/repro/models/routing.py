@@ -21,8 +21,10 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..autograd.ops import squash
+from ..contracts import shape_contract
 
 
+@shape_contract("(...S) f -> (...S) f")
 def squash_np(x: np.ndarray, axis: int = -1, eps: float = 1e-9) -> np.ndarray:
     """Numpy version of the capsule squash, for no-grad routing iterations."""
     sq_norm = (x * x).sum(axis=axis, keepdims=True)
@@ -30,6 +32,7 @@ def squash_np(x: np.ndarray, axis: int = -1, eps: float = 1e-9) -> np.ndarray:
     return x * scale
 
 
+@shape_contract("(N, K) f -> (N, K) f")
 def _softmax_over_items(logits: np.ndarray) -> np.ndarray:
     """Softmax across the item axis (axis 0) of an (n, K) logit matrix."""
     shifted = logits - logits.max(axis=0, keepdims=True)
@@ -37,6 +40,7 @@ def _softmax_over_items(logits: np.ndarray) -> np.ndarray:
     return exp / exp.sum(axis=0, keepdims=True)
 
 
+@shape_contract("(N, K) f -> (N, K) f")
 def _softmax_over_capsules(logits: np.ndarray) -> np.ndarray:
     """Softmax across the capsule axis (axis 1) — MIND/ComiRec reference
     code convention; kept for the substrate-ablation benchmark."""
@@ -45,6 +49,7 @@ def _softmax_over_capsules(logits: np.ndarray) -> np.ndarray:
     return exp / exp.sum(axis=1, keepdims=True)
 
 
+@shape_contract("(N, D) f, (K, D) f, (), (N, K) f, _ -> (K, D) f")
 def b2i_routing(
     e_hat: Tensor,
     init_interests: np.ndarray,

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from ..autograd import Tensor, concat
 from ..autograd.ops import log_softmax
+from ..contracts import shape_contract
 from .aggregator import aggregate_interests
 
 
+@shape_contract("(K, D) f, (D) f, (M, D) f -> () f")
 def sampled_softmax_loss(
     interests: Tensor,
     target_emb: Tensor,
@@ -38,6 +40,7 @@ def sampled_softmax_loss(
     return -log_softmax(logits, axis=0)[0]
 
 
+@shape_contract("(K, D) f, (M, D) f, (M, J, D) f -> () f")
 def batch_sampled_softmax_loss(
     interests: Tensor,
     target_embs: Tensor,
@@ -60,6 +63,7 @@ def batch_sampled_softmax_loss(
     return -log_softmax(logits, axis=1)[:, 0].mean()
 
 
+@shape_contract("(N, K) f -> (N, K) f")
 def _softmax_rows(x: Tensor) -> Tensor:
     shifted = x - Tensor(x.data.max(axis=1, keepdims=True))
     exp = shifted.exp()

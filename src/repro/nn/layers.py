@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from ..autograd import Tensor
+from ..contracts import shape_contract
 from . import init
 from .module import Module, Parameter
 
@@ -27,6 +28,7 @@ class Linear(Module):
         self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
+    @shape_contract("(...B, Din) f -> (...B, Dout) f")
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight.T
         if self.bias is not None:
@@ -52,6 +54,7 @@ class Embedding(Module):
             table[padding_idx] = 0.0
         self.weight = Parameter(table)
 
+    @shape_contract("(...I) i -> (...I, D) f")
     def forward(self, indices: np.ndarray) -> Tensor:
         return self.weight.gather_rows(np.asarray(indices, dtype=np.int64))
 

@@ -1,0 +1,16 @@
+"""RA501 firing: in-body shape contradictions under a @shape_contract."""
+
+from repro.contracts import shape_contract
+
+
+@shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+def affinity(items, interests):
+    # forgot the transpose: (N, D) @ (K, D) forces D == K
+    return items @ interests
+
+
+@shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+def scores_then_add(items, interests):
+    scores = items @ interests.T
+    # (N, K) + (N, D): K and D are distinct contract symbols
+    return scores + items

@@ -1,0 +1,14 @@
+"""RA501 silent: the same geometry with the transposes in place."""
+
+from repro.contracts import shape_contract
+
+
+@shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+def affinity(items, interests):
+    return items @ interests.T
+
+
+@shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+def scaled_affinity(items, interests):
+    scores = items @ interests.T
+    return scores / (scores.max(axis=1, keepdims=True) + 1e-12)

@@ -1,0 +1,14 @@
+"""RA502 firing: broken @shape_contract specs."""
+
+from repro.contracts import shape_contract
+
+
+@shape_contract("(N, D f -> (N)")
+def unbalanced(x):
+    return x.sum(axis=1)
+
+
+@shape_contract("(N, D) f, (K, D) f, (M) f -> (N) f")
+def too_many_specs(items, interests):
+    # contract declares three argument specs for two parameters
+    return (items * interests).sum(axis=1)

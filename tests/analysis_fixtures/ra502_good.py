@@ -1,0 +1,13 @@
+"""RA502 silent: well-formed specs matching the signatures."""
+
+from repro.contracts import shape_contract
+
+
+@shape_contract("(N, D) f -> (N) f")
+def row_sums(x):
+    return x.sum(axis=1)
+
+
+@shape_contract("(N, D) f, (N, D) f -> (N) f")
+def row_dots(a, b):
+    return (a * b).sum(axis=1)

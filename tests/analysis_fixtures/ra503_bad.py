@@ -1,0 +1,15 @@
+"""RA503 firing: a call site contradicting the callee's contract."""
+
+from repro.contracts import shape_contract
+
+
+@shape_contract("(N, D) f, (N, D) f -> (N) f")
+def row_dots(a, b):
+    return (a * b).sum(axis=1)
+
+
+@shape_contract("(B, D) f, (T, D) f -> () f")
+def alignment(queries, keys):
+    # row_dots requires both arguments to share their first dim,
+    # but B and T are distinct here
+    return row_dots(queries, keys).mean()

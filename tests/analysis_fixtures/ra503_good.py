@@ -1,0 +1,13 @@
+"""RA503 silent: call sites consistent with the callee's contract."""
+
+from repro.contracts import shape_contract
+
+
+@shape_contract("(N, D) f, (N, D) f -> (N) f")
+def row_dots(a, b):
+    return (a * b).sum(axis=1)
+
+
+@shape_contract("(B, D) f, (B, D) f -> () f")
+def alignment(queries, keys):
+    return row_dots(queries, keys).mean()

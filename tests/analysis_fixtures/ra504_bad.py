@@ -1,0 +1,9 @@
+"""RA504 firing: a dtype downcast contradicting the declared class."""
+
+from repro.contracts import shape_contract
+
+
+@shape_contract("(N, D) f -> (N, D) f64")
+def normalize(x):
+    scaled = x / 255.0
+    return scaled.astype("float32")

@@ -1,0 +1,9 @@
+"""RA504 silent: the returned dtype class matches the declaration."""
+
+from repro.contracts import shape_contract
+
+
+@shape_contract("(N, D) f -> (N, D) f64")
+def normalize(x):
+    scaled = x / 255.0
+    return scaled.astype("float64")

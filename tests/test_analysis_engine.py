@@ -107,10 +107,17 @@ class TestBaseline:
         assert discover_baseline([module]) == marker
         assert discover_baseline([nested]) == marker
 
-    def test_committed_baseline_is_empty(self):
+    def test_committed_baseline_covers_only_justified_test_code(self):
+        # src/ must stay clean on its own; the only grandfathered
+        # findings are deliberate Tensor-buffer mutations in test setup
         repo_root = Path(__file__).resolve().parents[1]
-        baseline = Baseline.load(repo_root / "analysis-baseline.json")
-        assert len(baseline) == 0
+        payload = json.loads(
+            (repo_root / "analysis-baseline.json").read_text())
+        assert payload["findings"], "expected grandfathered test findings"
+        for entry in payload["findings"]:
+            assert entry["path"].startswith("tests/"), entry
+            assert entry["rule"] == "RA101", entry
+            assert entry.get("justification"), entry
 
 
 class TestDiscoveryAndSelection:

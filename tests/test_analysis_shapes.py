@@ -1,0 +1,244 @@
+"""The RA5xx static shape pass: detection power and soundness.
+
+Detection: transposed matmuls, broadcast slips, call-site contradictions,
+dtype downcasts — including a mutated copy of the *real* PIT source, so
+the canonical IMSR failure mode is provably caught at lint time.
+
+Soundness: anything the propagator cannot follow (branches, loops, fancy
+indexing, unannotated callees) must degrade to unknown, never to a false
+positive — the whole src/ tree being lint-clean is the standing proof,
+and the cases here pin the tricky corners.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+HEADER = "from repro.contracts import shape_contract\n"
+
+
+def findings_for(body, select=None):
+    return analyze_source(HEADER + body, Path("snippet.py"), select=select)
+
+
+def rule_ids(body):
+    return {f.rule for f in findings_for(body)}
+
+
+class TestRA501InBody:
+    def test_transposed_matmul_operand(self):
+        assert "RA501" in rule_ids('''
+@shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+def affinity(items, interests):
+    return items @ interests
+''')
+
+    def test_correct_transpose_is_clean(self):
+        assert rule_ids('''
+@shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+def affinity(items, interests):
+    return items @ interests.T
+''') == set()
+
+    def test_broadcast_contradiction(self):
+        assert "RA501" in rule_ids('''
+@shape_contract("(N, K) f, (N, D) f -> (N, K) f")
+def slip(scores, feats):
+    return scores + feats
+''')
+
+    def test_reduce_then_broadcast_slip(self):
+        # summing over the wrong axis yields (N,) where (K,) is declared
+        assert "RA501" in rule_ids('''
+@shape_contract("(N, K) f -> (K) f")
+def column_totals(scores):
+    return scores.sum(axis=1)
+''')
+        assert rule_ids('''
+@shape_contract("(N, K) f -> (K) f")
+def column_totals(scores):
+    return scores.sum(axis=0)
+''') == set()
+
+    def test_return_ndim_mismatch(self):
+        assert "RA501" in rule_ids('''
+@shape_contract("(N, D) f -> () f")
+def mean_all(x):
+    return x.mean(axis=0)
+''')
+
+    def test_return_tuple_arity_mismatch(self):
+        assert "RA501" in rule_ids('''
+@shape_contract("(N, D) f -> (N) f, (D) f, () f")
+def stats(x):
+    return x.sum(axis=1), x.sum(axis=0)
+''')
+
+
+class TestRA502Specs:
+    def test_parse_error(self):
+        assert "RA502" in rule_ids('''
+@shape_contract("(N, D f -> (N)")
+def broken(x):
+    return x
+''')
+
+    def test_arity_overflow(self):
+        assert "RA502" in rule_ids('''
+@shape_contract("(N) f, (M) f -> ()")
+def unary(x):
+    return x.sum()
+''')
+
+    def test_self_is_skipped_in_arity(self):
+        assert rule_ids('''
+class Layer:
+    @shape_contract("(N, D) f -> (N, D) f")
+    def forward(self, x):
+        return x * 2.0
+''') == set()
+
+
+class TestRA503CallSites:
+    def test_local_callee_contradiction(self):
+        assert "RA503" in rule_ids('''
+@shape_contract("(N, D) f, (N, D) f -> (N) f")
+def row_dots(a, b):
+    return (a * b).sum(axis=1)
+
+@shape_contract("(B, D) f, (T, D) f -> () f")
+def caller(queries, keys):
+    return row_dots(queries, keys).mean()
+''')
+
+    def test_external_contract_contradiction(self):
+        # np.outer is registered as "(N) any, (M) any -> (N, M) any"
+        assert "RA503" in rule_ids('''
+@shape_contract("(N, D) f, (M) f -> (N, M) f")
+def cross(matrix, vec):
+    return np.outer(matrix, vec)
+''')
+
+    def test_callee_outputs_feed_the_caller(self):
+        # the (D, D) projector output makes the downstream mismatch provable
+        assert "RA501" in rule_ids('''
+@shape_contract("(K, D) f -> (D, D) f")
+def projector(existing):
+    return existing.T @ existing
+
+@shape_contract("(N, D) f, (K, D) f -> (N, D) f")
+def residual(new, existing):
+    proj = projector(existing)
+    return new - proj @ new
+''')
+
+
+class TestRA504Dtypes:
+    def test_downcast_on_return(self):
+        assert "RA504" in rule_ids('''
+@shape_contract("(N) f -> (N) f64")
+def quantize(x):
+    return x.astype("float32")
+''')
+
+    def test_family_only_declaration_accepts_any_width(self):
+        assert rule_ids('''
+@shape_contract("(N) f -> (N) f")
+def quantize(x):
+    return x.astype("float32")
+''') == set()
+
+
+class TestSoundness:
+    def test_branches_invalidate_bindings(self):
+        # x is reassigned inside an if: its shape must become unknown,
+        # so the (would-be) mismatch cannot be proven
+        assert rule_ids('''
+@shape_contract("(N, D) f -> (N, D) f")
+def maybe(x, flag=False):
+    if flag:
+        x = x.sum(axis=0)
+    return x
+''') == set()
+
+    def test_unannotated_callees_are_opaque(self):
+        assert rule_ids('''
+def helper(x):
+    return x.sum(axis=0)
+
+@shape_contract("(N, D) f -> (N, D) f")
+def wrapper(x):
+    return helper(x)
+''') == set()
+
+    def test_fancy_indexing_is_opaque(self):
+        assert rule_ids('''
+@shape_contract("(N, D) f, (M) i -> (M, D) f")
+def gather(x, idx):
+    return x[idx]
+''') == set()
+
+    def test_output_only_symbols_bind_freely(self):
+        assert rule_ids('''
+@shape_contract("(N, D) f -> (R, D) f")
+def dedupe(x):
+    return x[::2]
+''') == set()
+
+    def test_undecorated_functions_are_ignored(self):
+        assert rule_ids('''
+def free(a, b):
+    return a @ b
+''') == set()
+
+
+class TestRealPITMutant:
+    """The acceptance-criteria case: transposing an axis in the *actual*
+    PIT projection is caught statically."""
+
+    SOURCE = (REPO_ROOT / "src/repro/incremental/imsr/pit.py").read_text()
+
+    def assert_mutant_caught(self, original, mutant):
+        assert original in self.SOURCE, "pit.py changed; update this test"
+        mutated = self.SOURCE.replace(original, mutant)
+        findings = analyze_source(mutated, Path("pit_mutant.py"))
+        assert any(f.rule == "RA501" for f in findings), (
+            original, mutant)
+
+    def test_pristine_pit_is_clean(self):
+        findings = analyze_source(self.SOURCE, Path("pit.py"))
+        assert [f.rule for f in findings] == []
+
+    def test_transposed_projection_caught(self):
+        self.assert_mutant_caught(
+            "return new - new @ proj.T",
+            "return new - proj @ new",
+        )
+
+    def test_swapped_residual_orientation_caught(self):
+        self.assert_mutant_caught(
+            "return new - new @ proj.T",
+            "return new - (new @ proj).T",
+        )
+
+
+class TestNoqaAndEngineIntegration:
+    def test_noqa_suppresses_ra501(self):
+        body = '''
+@shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+def affinity(items, interests):
+    return items @ interests  # repro: noqa[RA501]
+'''
+        assert rule_ids(body) == set()
+
+    def test_select_restricts_to_shape_rules(self):
+        findings = findings_for('''
+@shape_contract("(N, D) f, (K, D) f -> (N, K) f")
+def affinity(items, interests):
+    return items @ interests
+''', select=["RA501"])
+        assert {f.rule for f in findings} == {"RA501"}

@@ -109,6 +109,77 @@ class TestLintIngestion:
         bench.write_text(SAMPLE)
         assert summarize.main(["summarize.py", str(bench), "--lint"]) == 2
 
+class TestContractCoverage:
+    def write_pkg(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "models"
+        pkg.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(
+            "from repro.contracts import shape_contract\n"
+            "\n"
+            "@shape_contract('(N) f -> () f')\n"
+            "def total(x):\n"
+            "    return x.sum()\n"
+            "\n"
+            "def helper(x):\n"
+            "    return x\n"
+            "\n"
+            "def _private(x):\n"
+            "    return x\n"
+        )
+        return tmp_path / "src"
+
+    def test_counts_public_and_annotated(self, tmp_path):
+        src = self.write_pkg(tmp_path)
+        coverage = summarize.contract_coverage(src)
+        assert ("repro.models", 1, 2) in coverage
+
+    def test_real_tree_coverage(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        coverage = dict(
+            (pkg, (annotated, total))
+            for pkg, annotated, total in summarize.contract_coverage(src))
+        # the ISSUE floor: >=25 functions carry contracts repo-wide
+        # (private helpers are excluded here, so allow a small margin)
+        assert sum(a for a, _ in coverage.values()) >= 25
+        for pkg in ("repro.autograd", "repro.models",
+                    "repro.incremental", "repro.eval", "repro.nn"):
+            annotated, total = coverage[pkg]
+            assert annotated > 0, pkg
+            assert total >= annotated
+
+    def test_markdown_rows_and_overall(self):
+        md = summarize.to_markdown(
+            [("A", 1, 1)],
+            coverage=[("repro.models", 3, 10), ("repro.nn", 2, 4)])
+        assert "| contracts: repro.models | 3/10 annotated |" in md
+        assert md.splitlines()[-1] == (
+            "| **contracts overall** | **5/14 annotated** |")
+
+    def test_main_with_contracts_flag(self, tmp_path, capsys):
+        bench = tmp_path / "bench.txt"
+        bench.write_text(SAMPLE)
+        src = self.write_pkg(tmp_path)
+        assert summarize.main(["summarize.py", str(bench),
+                               "--contracts", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "| contracts: repro.models | 1/2 annotated |" in out
+
+    def test_main_rejects_bad_contracts_root(self, tmp_path):
+        bench = tmp_path / "bench.txt"
+        bench.write_text(SAMPLE)
+        assert summarize.main(["summarize.py", str(bench),
+                               "--contracts", str(tmp_path / "nope")]) == 2
+
+    def test_main_contracts_flag_without_value(self, tmp_path):
+        bench = tmp_path / "bench.txt"
+        bench.write_text(SAMPLE)
+        assert summarize.main(["summarize.py", str(bench),
+                               "--contracts"]) == 2
+
+
+class TestLintIngestionEndToEnd:
     def test_end_to_end_with_real_analyzer_output(self, tmp_path, capsys):
         from repro.analysis import analyze_paths, render_json
 

@@ -3,6 +3,7 @@
 
 Usage:  python benchmarks/summarize.py bench_output.txt
             [--lint lint.json] [--contracts src]
+            [--robustness robustness.json]
 
 Parses the ``===== <title> =====`` sections and the ``N/M shape checks
 hold`` lines the bench harness prints, and emits the markdown summary
@@ -10,7 +11,9 @@ that EXPERIMENTS.md embeds.  With ``--lint``, the JSON report from
 ``python -m repro.analysis src --format json`` is appended as an extra
 row so lint counts are tracked next to the reproduction metrics; with
 ``--contracts``, per-package shape-contract coverage (decorated public
-functions / total public functions) is appended as well.
+functions / total public functions) is appended as well; with
+``--robustness``, the checkpoint/resume latency report emitted by
+``benchmarks/robustness_probe.py`` is folded in as a row group.
 """
 
 from __future__ import annotations
@@ -96,9 +99,34 @@ def contract_coverage(src_root: Path) -> List[Tuple[str, int, int]]:
             for pkg, (annotated, total) in sorted(tallies.items())]
 
 
+def parse_robustness(text: str) -> List[Tuple[str, str]]:
+    """Turn a ``robustness_probe.py`` JSON report into table rows."""
+    payload = json.loads(text)
+    if payload.get("tool") != "repro.robustness":
+        raise ValueError(
+            f"not a robustness report (tool={payload.get('tool')!r})")
+    ckpt = payload.get("checkpoint", {})
+    run = payload.get("run", {})
+    rows = [
+        ("checkpoint save",
+         f"{ckpt.get('save_ms', 0):.1f} ms "
+         f"({ckpt.get('size_bytes', 0) / 1024:.0f} KiB, "
+         f"{ckpt.get('arrays', 0)} arrays)"),
+        ("checkpoint verify", f"{ckpt.get('verify_ms', 0):.1f} ms"),
+        ("checkpoint load", f"{ckpt.get('load_ms', 0):.1f} ms"),
+        ("journaled-run overhead",
+         f"{run.get('journal_overhead_pct', 0):+.1f}% wall clock"),
+        ("resume speedup",
+         f"{run.get('resume_speedup', 0):.1f}x "
+         f"({run.get('resumed_spans', 0)} spans reused)"),
+    ]
+    return rows
+
+
 def to_markdown(sections: List[Tuple[str, int, int]],
                 lint: Optional[Tuple[str, str]] = None,
-                coverage: Optional[List[Tuple[str, int, int]]] = None) -> str:
+                coverage: Optional[List[Tuple[str, int, int]]] = None,
+                robustness: Optional[List[Tuple[str, str]]] = None) -> str:
     lines = ["| experiment | shape checks |", "|---|---|"]
     passed_total = checks_total = 0
     for title, passed, total in sections:
@@ -117,6 +145,9 @@ def to_markdown(sections: List[Tuple[str, int, int]],
             fn_total += total
         lines.append(f"| **contracts overall** | "
                      f"**{annotated_total}/{fn_total} annotated** |")
+    if robustness:
+        for label, cell in robustness:
+            lines.append(f"| robustness: {label} | {cell} |")
     return "\n".join(lines)
 
 
@@ -137,7 +168,9 @@ def main(argv: List[str]) -> int:
     args = list(argv[1:])
     lint_path = _take_flag(args, "--lint")
     contracts_root = _take_flag(args, "--contracts")
-    if lint_path == "" or contracts_root == "" or len(args) != 1:
+    robustness_path = _take_flag(args, "--robustness")
+    if (lint_path == "" or contracts_root == "" or robustness_path == ""
+            or len(args) != 1):
         print(__doc__)
         return 2
     text = Path(args[0]).read_text()
@@ -160,7 +193,16 @@ def main(argv: List[str]) -> int:
             print(f"error: {root} has no repro/ package", file=sys.stderr)
             return 2
         coverage = contract_coverage(root)
-    print(to_markdown(sections, lint=lint, coverage=coverage))
+    robustness = None
+    if robustness_path is not None:
+        try:
+            robustness = parse_robustness(Path(robustness_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: could not read robustness report "
+                  f"{robustness_path}: {exc}", file=sys.stderr)
+            return 2
+    print(to_markdown(sections, lint=lint, coverage=coverage,
+                      robustness=robustness))
     return 0
 
 

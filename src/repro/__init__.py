@@ -13,11 +13,15 @@ Layered public API:
 * :mod:`repro.eval` — HR/NDCG, span protocol, significance tests;
 * :mod:`repro.experiments` — drivers regenerating every table and figure;
 * :mod:`repro.analysis` — static analysis enforcing the substrate's
-  autograd/randomness/numerics contracts (``repro lint``).
+  autograd/randomness/numerics contracts (``repro lint``);
+* :mod:`repro.persistence` — crash-safe journaled checkpoints (atomic
+  writes, SHA-256 manifests, resume);
+* :mod:`repro.faults` — seeded, deterministic fault injection proving
+  the crash-safety properties.
 """
 
 from . import analysis, autograd, data, eval, experiments, incremental, lifelong, models, nn
-from . import persistence
+from . import faults, persistence
 
 __version__ = "1.0.0"
 
@@ -32,5 +36,6 @@ __all__ = [
     "eval",
     "experiments",
     "persistence",
+    "faults",
     "__version__",
 ]

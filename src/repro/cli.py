@@ -8,11 +8,14 @@ Commands
     Print the Table-II-style statistics of a dataset preset.
 ``run DATASET MODEL STRATEGY``
     Execute one incremental-learning run and print per-span metrics.
+    ``--checkpoint-dir DIR`` makes the run journaled and crash-safe;
+    ``--resume`` continues an interrupted run from the last good span.
 ``experiment ID``
     Regenerate one of the paper's tables/figures (e.g. ``table3``,
     ``fig5``) and print it with its shape checks.
-``checkpoint-info PATH``
-    Inspect a checkpoint written by :mod:`repro.persistence`.
+``checkpoint-info PATH [--verify]``
+    Inspect a checkpoint written by :mod:`repro.persistence`; with
+    ``--verify``, re-hash every array against its manifest.
 ``lint [PATHS...]``
     Run the repository's static-analysis rules (:mod:`repro.analysis`).
 ``contracts list``
@@ -69,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="IMSR trimming threshold")
     p_run.add_argument("--delta-k", type=int, default=None,
                        help="IMSR interests added on expansion")
+    p_run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="journal the run: one atomic checkpoint per "
+                            "span plus journal.json in DIR")
+    p_run.add_argument("--resume", action="store_true",
+                       help="continue an interrupted run from the last "
+                            "good span in --checkpoint-dir")
 
     p_exp = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -78,6 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ckpt = sub.add_parser("checkpoint-info", help="inspect a checkpoint")
     p_ckpt.add_argument("path")
+    p_ckpt.add_argument("--verify", action="store_true",
+                        help="re-hash every array against the manifest")
 
     p_lint = sub.add_parser("lint", help="run the static-analysis rules")
     p_lint.add_argument("paths", nargs="*",
@@ -117,6 +128,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     _, split = load_dataset(args.dataset, scale=args.scale)
     config = default_config(
         epochs_pretrain=args.epochs,
@@ -136,7 +150,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         model_kwargs={"dim": args.dim, "num_interests": args.interests},
         strategy_kwargs=strategy_kwargs,
     )
-    result = run_strategy(strategy, split, args.dataset, args.model)
+    result = run_strategy(strategy, split, args.dataset, args.model,
+                          checkpoint_dir=args.checkpoint_dir,
+                          resume=args.resume)
     rows = [
         {"span": t + 1, "HR@20": r.hr, "NDCG@20": r.ndcg,
          "cases": r.num_cases, "mean K": result.interest_counts[t]}
@@ -145,6 +161,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(format_table(rows))
     print(f"average: HR@20={result.hr:.4f}  NDCG@20={result.ndcg:.4f}  "
           f"inference={result.inference_time * 1000:.2f} ms/user")
+    if result.resumed_spans:
+        print(f"resumed: spans {result.resumed_spans} reused from "
+              f"{args.checkpoint_dir}/journal.json")
+    for incident in result.incidents:
+        print(f"incident: span {incident['span']} {incident['kind']} -> "
+              f"{incident['action']}", file=sys.stderr)
     return 0
 
 
@@ -170,14 +192,24 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_checkpoint_info(args: argparse.Namespace) -> int:
-    from .persistence import checkpoint_info
+    from .persistence import CheckpointError, checkpoint_info
 
-    meta = checkpoint_info(args.path)
+    try:
+        meta = checkpoint_info(args.path, verify=args.verify)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     for key, value in meta.items():
         if key == "users":
             print(f"users: {len(value)}")
+        elif key == "arrays":
+            print(f"arrays: {len(value)} checksummed")
+        elif key == "rng":
+            print(f"rng: {', '.join(sorted(value))}")
         else:
             print(f"{key}: {value}")
+    if args.verify:
+        print("verification: OK (whole-file SHA-256 + per-array checksums)")
     return 0
 
 

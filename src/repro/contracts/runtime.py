@@ -271,6 +271,7 @@ def load_annotated() -> int:
         "repro.incremental.imsr.pit",
         "repro.incremental.imsr.eir",
         "repro.eval.metrics",
+        "repro.faults",
     ):
         importlib.import_module(module)
     return len(CONTRACT_REGISTRY)

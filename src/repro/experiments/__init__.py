@@ -1,6 +1,7 @@
 """Experiment harness: drivers for every table and figure in the paper."""
 
 from .runner import RunResult, default_config, make_strategy, run, run_repeated, run_strategy
+from .journal import JOURNAL_NAME, JournalError, SpanJournal, SpanRecord
 from .reporting import (
     format_table,
     relative_improvement,
@@ -29,6 +30,10 @@ __all__ = [
     "run",
     "run_repeated",
     "run_strategy",
+    "JOURNAL_NAME",
+    "JournalError",
+    "SpanJournal",
+    "SpanRecord",
     "format_table",
     "relative_improvement",
     "render_shape_checks",

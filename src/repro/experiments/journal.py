@@ -1,0 +1,221 @@
+"""Span journal: the crash-recovery log of an incremental run.
+
+A run directory holds one checkpoint per completed span
+(``span-000.npz`` for pretraining, ``span-001.npz`` … for incremental
+spans) plus ``journal.json``, written atomically after each span
+commits.  The journal records, per span: the training time, the
+checkpoint filename, the span's :class:`~repro.eval.EvalResult`
+(including per-user metrics), and interest-count statistics — enough to
+reconstruct the :class:`~repro.experiments.runner.RunResult` prefix of
+an interrupted run without recomputing anything.
+
+Write ordering gives crash consistency: the span's checkpoint is
+committed *before* the journal entry that references it, so a journal
+entry always points at a complete checkpoint.  Conversely a checkpoint
+without a journal entry is simply retrained on resume.
+
+The journal also accumulates **incidents**: structured records of
+divergence rollbacks (non-finite parameters or metrics detected after a
+span) so operational failures are data, not log noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..eval import EvalResult
+from ..persistence import atomic_write_bytes, verify_checkpoint, CheckpointError
+
+PathLike = Union[str, Path]
+
+_JOURNAL_VERSION = 1
+JOURNAL_NAME = "journal.json"
+
+__all__ = ["SpanJournal", "SpanRecord", "JournalError", "JOURNAL_NAME"]
+
+
+class JournalError(ValueError):
+    """The journal is malformed or does not match the current run."""
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (0 = pretraining, which has no evaluation)."""
+
+    span: int
+    train_time: float
+    checkpoint: str
+    hr: Optional[float] = None
+    ndcg: Optional[float] = None
+    num_cases: Optional[int] = None
+    per_user: Dict[int, tuple] = field(default_factory=dict)
+    interest_mean: Optional[float] = None
+    counts: Dict[int, int] = field(default_factory=dict)
+    rolled_back: bool = False
+
+    def eval_result(self) -> EvalResult:
+        return EvalResult(
+            hr=float(self.hr), ndcg=float(self.ndcg),
+            num_cases=int(self.num_cases),
+            per_user={int(u): tuple(v) for u, v in self.per_user.items()},
+        )
+
+    def to_json(self) -> dict:
+        out = {
+            "span": self.span,
+            "train_time": self.train_time,
+            "checkpoint": self.checkpoint,
+            "rolled_back": self.rolled_back,
+        }
+        if self.hr is not None:
+            out["eval"] = {
+                "hr": self.hr, "ndcg": self.ndcg,
+                "num_cases": self.num_cases,
+                "per_user": {str(u): list(v)
+                             for u, v in self.per_user.items()},
+            }
+            out["interest_mean"] = self.interest_mean
+            out["counts"] = {str(u): c for u, c in self.counts.items()}
+        return out
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SpanRecord":
+        record = cls(
+            span=int(payload["span"]),
+            train_time=float(payload["train_time"]),
+            checkpoint=str(payload["checkpoint"]),
+            rolled_back=bool(payload.get("rolled_back", False)),
+        )
+        ev = payload.get("eval")
+        if ev is not None:
+            record.hr = float(ev["hr"])
+            record.ndcg = float(ev["ndcg"])
+            record.num_cases = int(ev["num_cases"])
+            record.per_user = {int(u): tuple(v)
+                               for u, v in ev.get("per_user", {}).items()}
+            record.interest_mean = payload.get("interest_mean")
+            record.counts = {int(u): int(c)
+                             for u, c in payload.get("counts", {}).items()}
+        return record
+
+
+class SpanJournal:
+    """Atomic, append-per-span journal for one run directory."""
+
+    def __init__(self, directory: PathLike, fingerprint: str,
+                 dataset: str = "", model: str = "", strategy: str = ""):
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.dataset = dataset
+        self.model = model
+        self.strategy = strategy
+        self.spans: Dict[int, SpanRecord] = {}
+        self.incidents: List[dict] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        return self.directory / JOURNAL_NAME
+
+    def checkpoint_path(self, span: int) -> Path:
+        return self.directory / f"span-{span:03d}.npz"
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def write(self) -> None:
+        payload = {
+            "version": _JOURNAL_VERSION,
+            "fingerprint": self.fingerprint,
+            "dataset": self.dataset,
+            "model": self.model,
+            "strategy": self.strategy,
+            "spans": {str(s): r.to_json() for s, r in sorted(self.spans.items())},
+            "incidents": self.incidents,
+        }
+        blob = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        atomic_write_bytes(blob, self.path, kind="journal")
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "SpanJournal":
+        path = Path(directory) / JOURNAL_NAME
+        if not path.exists():
+            raise JournalError(f"no journal at {path}")
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JournalError(f"journal {path} is unreadable: {exc}") from exc
+        if payload.get("version") != _JOURNAL_VERSION:
+            raise JournalError(
+                f"unsupported journal version {payload.get('version')!r}")
+        journal = cls(
+            Path(directory),
+            fingerprint=str(payload.get("fingerprint", "")),
+            dataset=str(payload.get("dataset", "")),
+            model=str(payload.get("model", "")),
+            strategy=str(payload.get("strategy", "")),
+        )
+        for key, entry in payload.get("spans", {}).items():
+            record = SpanRecord.from_json(entry)
+            if record.span != int(key):
+                raise JournalError(
+                    f"journal span key {key} disagrees with record "
+                    f"{record.span}")
+            journal.spans[record.span] = record
+        journal.incidents = list(payload.get("incidents", []))
+        return journal
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_span(self, span: int, train_time: float,
+                    result: Optional[EvalResult] = None,
+                    interest_mean: Optional[float] = None,
+                    counts: Optional[Dict[int, int]] = None,
+                    rolled_back: bool = False) -> SpanRecord:
+        record = SpanRecord(
+            span=span, train_time=float(train_time),
+            checkpoint=self.checkpoint_path(span).name,
+            rolled_back=rolled_back,
+        )
+        if result is not None:
+            record.hr = result.hr
+            record.ndcg = result.ndcg
+            record.num_cases = result.num_cases
+            record.per_user = dict(result.per_user)
+            record.interest_mean = interest_mean
+            record.counts = dict(counts or {})
+        self.spans[span] = record
+        self.write()
+        return record
+
+    def record_incident(self, span: int, kind: str, detail: object,
+                        action: str) -> dict:
+        incident = {"span": span, "kind": kind, "detail": detail,
+                    "action": action}
+        self.incidents.append(incident)
+        self.write()
+        return incident
+
+    # ------------------------------------------------------------------ #
+    # resume support
+    # ------------------------------------------------------------------ #
+    def last_restorable_span(self) -> Optional[int]:
+        """Highest span whose journal prefix is contiguous from 0 and
+        whose checkpoint passes full verification.
+
+        A corrupt later checkpoint falls back to the newest earlier one
+        that verifies; spans past the restore point are retrained."""
+        last_contiguous = -1
+        while last_contiguous + 1 in self.spans:
+            last_contiguous += 1
+        for span in range(last_contiguous, -1, -1):
+            try:
+                verify_checkpoint(self.checkpoint_path(span))
+            except CheckpointError:
+                continue
+            return span
+        return None

@@ -3,20 +3,36 @@
 After training on span ``t`` the model is evaluated on span ``t+1``'s test
 items; headline numbers average spans ``1..T-1`` (the pretrained model's
 own test performance is excluded), exactly as Section V-A describes.
+
+Crash safety
+------------
+Passing ``checkpoint_dir=`` makes the run journaled: after every span the
+strategy state is checkpointed atomically and the span's metrics are
+recorded in ``journal.json``.  ``resume=True`` restarts an interrupted
+run from the last good span — completed spans are skipped and their
+recorded metrics reused, and because checkpoints capture every RNG
+stream, the resumed run is metric-identical to an uninterrupted one.  A
+divergence guard detects non-finite parameters or metrics after a span,
+rolls the strategy back to the last good checkpoint, and records a
+structured incident instead of poisoning later spans.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
+from pathlib import Path
+from typing import Dict, List, Optional, Type, Union
 
 import numpy as np
 
+from .. import faults
 from ..data.schema import TemporalSplit
 from ..eval import EvalResult, average_results, evaluate_span
 from ..incremental import STRATEGY_REGISTRY, IncrementalStrategy, TrainConfig
 from ..models import make_model
+from ..persistence import load_checkpoint, run_fingerprint, save_checkpoint
+from .journal import JournalError, SpanJournal
 
 
 @dataclass
@@ -42,6 +58,10 @@ class RunResult:
     counts_by_span: Dict[int, Dict[int, int]] = field(default_factory=dict)
     #: for seed-averaged runs (run_repeated): the individual seed results
     per_seed: List["RunResult"] = field(default_factory=list)
+    #: spans whose metrics were reused from a resume journal
+    resumed_spans: List[int] = field(default_factory=list)
+    #: divergence-rollback incidents recorded during the run
+    incidents: List[dict] = field(default_factory=list)
 
     @property
     def hr(self) -> float:
@@ -79,6 +99,59 @@ def make_strategy(
     return cls(factory(), split, config, **strategy_kwargs)
 
 
+def _prepare_journal(strategy: IncrementalStrategy, checkpoint_dir,
+                     resume: bool, dataset_name: str, model_name: str):
+    """(journal, restored_span) for a checkpointed run; fresh runs get a
+    new journal and ``restored_span=None``."""
+    directory = Path(checkpoint_dir)
+    fingerprint = run_fingerprint(strategy)
+    if resume and (directory / "journal.json").exists():
+        journal = SpanJournal.load(directory)
+        if journal.fingerprint != fingerprint:
+            raise JournalError(
+                f"journal at {directory} was written by a different run "
+                f"(fingerprint {journal.fingerprint} != {fingerprint}); "
+                f"refusing to resume")
+        restored = journal.last_restorable_span()
+        if restored is None:
+            journal.spans.clear()  # nothing restorable: retrain everything
+        return journal, restored
+    journal = SpanJournal(directory, fingerprint=fingerprint,
+                          dataset=dataset_name, model=model_name,
+                          strategy=strategy.name)
+    journal.write()
+    return journal, None
+
+
+def _non_finite_sites(strategy: IncrementalStrategy) -> List[str]:
+    """Names of model parameters / user states holding NaN or inf."""
+    sites: List[str] = []
+    for name, param in strategy.model.named_parameters():
+        if not faults.all_finite(param.data):
+            sites.append(f"param/{name}")
+    for user, state in strategy.states.items():
+        if not faults.all_finite(state.interests):
+            sites.append(f"user/{user}/interests")
+        if state.sa_weights is not None and not faults.all_finite(
+                state.sa_weights.data):
+            sites.append(f"user/{user}/sa_weights")
+    return sites
+
+
+def _rollback(strategy: IncrementalStrategy, journal: SpanJournal,
+              span: int, kind: str, detail: object) -> None:
+    """Restore the last good checkpoint and record the incident."""
+    good = journal.last_restorable_span()
+    if good is None:
+        raise RuntimeError(
+            f"divergence at span {span} with no restorable checkpoint "
+            f"in {journal.directory}")
+    load_checkpoint(strategy, journal.checkpoint_path(good))
+    journal.record_incident(
+        span=span, kind=kind, detail=detail,
+        action=f"rolled-back-to-span-{good}")
+
+
 def run_strategy(
     strategy: IncrementalStrategy,
     split: TemporalSplit,
@@ -87,6 +160,8 @@ def run_strategy(
     eval_spans: Optional[List[int]] = None,
     keep_per_user: bool = True,
     eval_targets: str = "all",
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> RunResult:
     """Execute the full incremental protocol for a prepared strategy.
 
@@ -94,26 +169,93 @@ def run_strategy(
     case, densifying the paper's one-item-per-user protocol to offset our
     smaller synthetic user counts; pass ``"test"`` for the strict
     protocol.
+
+    ``checkpoint_dir`` enables journaled checkpoints (one per span plus
+    ``journal.json``) and the divergence guard; ``resume=True``
+    additionally restores the last good span from that directory, reusing
+    the recorded metrics of already-completed spans.  ``strategy`` must
+    be freshly constructed (pre-pretraining) in both cases.
     """
-    strategy.pretrain()
+    journal: Optional[SpanJournal] = None
+    restored_span: Optional[int] = None
+    if checkpoint_dir is not None:
+        journal, restored_span = _prepare_journal(
+            strategy, checkpoint_dir, resume, dataset_name, model_name)
+
     T = split.T
     spans_to_train = eval_spans or list(range(1, T))
     per_span: List[EvalResult] = []
     per_user: List[Dict[int, tuple]] = []
     interest_counts: List[float] = []
     counts_by_span: Dict[int, Dict[int, int]] = {}
+    resumed_spans: List[int] = []
+
+    if restored_span is None:
+        strategy.pretrain()
+        if journal is not None:
+            save_checkpoint(strategy, journal.checkpoint_path(0), span=0)
+            journal.record_span(0, strategy.train_times.get(0, 0.0))
+            faults.fire("span-boundary", span=0)
+    else:
+        load_checkpoint(strategy, journal.checkpoint_path(restored_span))
+        for record in journal.spans.values():
+            if record.span <= restored_span:
+                strategy.train_times[record.span] = record.train_time
 
     for t in spans_to_train:
+        if restored_span is not None and t <= restored_span:
+            record = journal.spans.get(t)
+            if record is None or record.hr is None:
+                raise JournalError(
+                    f"resume requested span {t} but the journal has no "
+                    f"evaluated record for it")
+            result = record.eval_result()
+            per_span.append(result)
+            per_user.append(result.per_user)
+            counts_by_span[t] = dict(record.counts)
+            interest_counts.append(float(record.interest_mean))
+            resumed_spans.append(t)
+            continue
+
+        faults.fire("span-start", span=t)
         strategy.train_span(t)
+        faults.fire("span-trained", span=t, strategy=strategy)
+
+        rolled_back = False
+        if journal is not None:
+            bad = _non_finite_sites(strategy)
+            if bad:
+                _rollback(strategy, journal, t, "non-finite-state", bad[:20])
+                rolled_back = True
+
         result = evaluate_span(
             strategy.score_user, split.spans[t],
             keep_per_user=keep_per_user, targets=eval_targets,
         )
+        if journal is not None and not (
+                np.isfinite(result.hr) and np.isfinite(result.ndcg)):
+            _rollback(strategy, journal, t, "non-finite-metrics",
+                      {"hr": repr(result.hr), "ndcg": repr(result.ndcg)})
+            rolled_back = True
+            result = evaluate_span(
+                strategy.score_user, split.spans[t],
+                keep_per_user=keep_per_user, targets=eval_targets,
+            )
+
         per_span.append(result)
         per_user.append(result.per_user)
         counts = strategy.interest_counts()
         counts_by_span[t] = dict(counts)
         interest_counts.append(float(np.mean(list(counts.values()))))
+
+        if journal is not None:
+            save_checkpoint(strategy, journal.checkpoint_path(t), span=t)
+            journal.record_span(
+                t, strategy.train_times.get(t, 0.0), result,
+                interest_mean=interest_counts[-1], counts=counts,
+                rolled_back=rolled_back,
+            )
+            faults.fire("span-boundary", span=t)
 
     # mean per-user inference time on the last evaluated span
     eval_users = split.spans[spans_to_train[-1]].user_ids()[:50]
@@ -133,6 +275,8 @@ def run_strategy(
         interest_counts=interest_counts,
         per_user_metrics=per_user,
         counts_by_span=counts_by_span,
+        resumed_spans=resumed_spans,
+        incidents=list(journal.incidents) if journal is not None else [],
     )
 
 
@@ -144,6 +288,8 @@ def run(
     config: Optional[TrainConfig] = None,
     model_kwargs: Optional[dict] = None,
     strategy_kwargs: Optional[dict] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> RunResult:
     """One-call convenience: build the strategy and run the protocol."""
     config = config or default_config()
@@ -152,7 +298,8 @@ def run(
         model_kwargs=model_kwargs, strategy_kwargs=strategy_kwargs,
     )
     return run_strategy(
-        strategy, split, dataset_name=dataset_name, model_name=model_name
+        strategy, split, dataset_name=dataset_name, model_name=model_name,
+        checkpoint_dir=checkpoint_dir, resume=resume,
     )
 
 

@@ -1,0 +1,283 @@
+"""Deterministic fault injection for crash-safety testing.
+
+An incremental recommender is a long-lived stateful service; proving it
+crash-safe requires *reproducible* failures, not ad-hoc monkeypatching.
+This module defines a seeded fault model: a :class:`FaultPlan` lists
+faults bound to named probe points that the production code fires at its
+critical transitions (span boundaries, checkpoint writes, training
+steps).  When no plan is active every probe is a near-free no-op, so the
+probes stay in the real code paths permanently — the exercised code is
+the shipped code.
+
+Probe points fired by the substrate
+-----------------------------------
+``span-start``          before ``train_span(t)`` (info: ``span``)
+``span-trained``        after ``train_span(t)`` returns (info: ``span``,
+                        ``strategy``) — where state-poisoning faults act
+``span-boundary``       after span ``t``'s checkpoint + journal entry
+                        are committed (info: ``span``)
+``io-write``            before an atomic write starts (info: ``path``,
+                        ``kind``: ``checkpoint`` | ``journal``)
+``io-replace``          after the temp file is durable, before
+                        ``os.replace`` commits it (same info)
+``train-step``          once per optimizer step (info: ``step``,
+                        ``user``)
+
+Example
+-------
+>>> plan = FaultPlan(seed=0).crash_at_span_boundary(2)
+>>> with active(plan):
+...     run_strategy(strategy, split, checkpoint_dir=ckdir)   # raises
+Traceback (most recent call last):
+SimulatedCrash: injected crash at span-boundary (span=2)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .contracts import shape_contract
+
+__all__ = [
+    "FaultPlan",
+    "Fault",
+    "FaultInjected",
+    "SimulatedCrash",
+    "InjectedIOError",
+    "active",
+    "fire",
+    "active_plans",
+    "all_finite",
+    "nan_poison",
+    "flip_one_byte",
+]
+
+
+class FaultInjected(RuntimeError):
+    """Base class for exceptions raised by an active fault plan."""
+
+
+class SimulatedCrash(FaultInjected):
+    """Stands in for a process kill: nothing after the raise executes."""
+
+
+class InjectedIOError(OSError):
+    """A planned IO failure (disk full, permission flap, torn device)."""
+
+
+@dataclass
+class Fault:
+    """One planned failure, bound to a probe point.
+
+    ``at`` selects the n-th firing of the point (0-based occurrence
+    count); ``match`` filters on the probe's info dict (e.g.
+    ``{"span": 2}``).  ``kind`` is one of ``crash``, ``io-error``,
+    ``modifier`` (returns ``payload`` to the probe's caller), or
+    ``call`` (invokes ``payload(**info)``).  Faults are one-shot unless
+    ``once`` is False.
+    """
+
+    point: str
+    kind: str
+    at: Optional[int] = None
+    match: Dict[str, Any] = field(default_factory=dict)
+    payload: Union[None, Dict[str, Any], Callable[..., Any]] = None
+    once: bool = True
+    spent: bool = False
+
+    def matches(self, occurrence: int, info: Dict[str, Any]) -> bool:
+        if self.spent:
+            return False
+        if self.at is not None and occurrence != self.at:
+            return False
+        return all(info.get(k) == v for k, v in self.match.items())
+
+    def describe(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"point": self.point, "kind": self.kind}
+        if self.at is not None:
+            out["at"] = self.at
+        if self.match:
+            out["match"] = dict(self.match)
+        if isinstance(self.payload, dict):
+            out["payload"] = dict(self.payload)
+        return out
+
+
+class FaultPlan:
+    """A seeded, deterministic list of faults plus its firing log.
+
+    Builders return ``self`` so plans read as one expression::
+
+        FaultPlan(seed=3).io_error_on_write(1).crash_at_span_boundary(2)
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.faults: List[Fault] = []
+        #: occurrence counters per probe point
+        self.counters: Dict[str, int] = {}
+        #: every fault that actually fired: (point, info-without-objects)
+        self.log: List[Tuple[str, Dict[str, Any]]] = []
+
+    # ------------------------------------------------------------------ #
+    # builders
+    # ------------------------------------------------------------------ #
+    def crash_at_span_boundary(self, span: int) -> "FaultPlan":
+        """Die right after span ``span``'s checkpoint+journal committed."""
+        self.faults.append(Fault("span-boundary", "crash", match={"span": span}))
+        return self
+
+    def crash_before_span(self, span: int) -> "FaultPlan":
+        """Die at the boundary, before ``train_span(span)`` starts."""
+        self.faults.append(Fault("span-start", "crash", match={"span": span}))
+        return self
+
+    def io_error_on_write(self, nth: int = 0) -> "FaultPlan":
+        """Fail the ``nth`` atomic write before any bytes hit disk."""
+        self.faults.append(Fault("io-write", "io-error", at=nth))
+        return self
+
+    def crash_during_write(self, nth: int = 0) -> "FaultPlan":
+        """Die after the temp file is written but before the commit —
+        the torn-write scenario atomic replacement must survive."""
+        self.faults.append(Fault("io-replace", "crash", at=nth))
+        return self
+
+    def nan_loss_at_step(self, step: Optional[int] = None) -> "FaultPlan":
+        """Poison the training loss at optimizer step ``step`` (every
+        step when ``None``) — exercises the non-finite containment."""
+        match = {} if step is None else {"step": step}
+        self.faults.append(Fault("train-step", "modifier", match=match,
+                                 payload={"poison_nan": True},
+                                 once=step is not None))
+        return self
+
+    def poison_params_after_span(self, span: int) -> "FaultPlan":
+        """Write a NaN into one (seeded) model parameter element right
+        after ``train_span(span)`` — triggers the divergence guard."""
+        self.faults.append(Fault("span-trained", "call", match={"span": span},
+                                 payload=self._poison_one_param))
+        return self
+
+    def _poison_one_param(self, strategy=None, **info) -> None:
+        if strategy is None:
+            return
+        params = [p for _, p in strategy.model.named_parameters()]
+        param = params[int(self.rng.integers(len(params)))]
+        flat = param.data.reshape(-1)
+        flat[int(self.rng.integers(flat.size))] = np.nan
+
+    # ------------------------------------------------------------------ #
+    # firing
+    # ------------------------------------------------------------------ #
+    def fire(self, point: str, info: Dict[str, Any]) -> Dict[str, Any]:
+        """Advance the point's occurrence counter and trigger matches."""
+        occurrence = self.counters.get(point, 0)
+        self.counters[point] = occurrence + 1
+        mods: Dict[str, Any] = {}
+        for fault in self.faults:
+            if fault.point != point or not fault.matches(occurrence, info):
+                continue
+            if fault.once:
+                fault.spent = True
+            self.log.append((point, {
+                k: v for k, v in info.items()
+                if isinstance(v, (int, float, str, bool, type(None)))
+            }))
+            if fault.kind == "crash":
+                raise SimulatedCrash(
+                    f"injected crash at {point} "
+                    f"({', '.join(f'{k}={v}' for k, v in sorted(self.log[-1][1].items()))})"
+                )
+            if fault.kind == "io-error":
+                raise InjectedIOError(
+                    f"injected IO error at {point} occurrence {occurrence}")
+            if fault.kind == "modifier" and isinstance(fault.payload, dict):
+                mods.update(fault.payload)
+            elif fault.kind == "call" and callable(fault.payload):
+                extra = fault.payload(**info)
+                if isinstance(extra, dict):
+                    mods.update(extra)
+        return mods
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """The plan as data — for journals, incident reports, and docs."""
+        return [f.describe() for f in self.faults]
+
+
+# ---------------------------------------------------------------------- #
+# module-level activation + probe API
+# ---------------------------------------------------------------------- #
+_ACTIVE: List[FaultPlan] = []
+
+
+def active_plans() -> List[FaultPlan]:
+    """The currently activated plans (outermost first)."""
+    return list(_ACTIVE)
+
+
+@contextlib.contextmanager
+def active(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the block."""
+    _ACTIVE.append(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE.remove(plan)
+
+
+def fire(point: str, **info: Any) -> Dict[str, Any]:
+    """Probe call placed in production code; no-op without active plans.
+
+    Returns the merged modifier dict from every matching ``modifier`` /
+    ``call`` fault; ``crash`` and ``io-error`` faults raise instead.
+    """
+    if not _ACTIVE:
+        return {}
+    mods: Dict[str, Any] = {}
+    for plan in list(_ACTIVE):
+        mods.update(plan.fire(point, info))
+    return mods
+
+
+# ---------------------------------------------------------------------- #
+# array/file corruption helpers (used by the plan and the test suite)
+# ---------------------------------------------------------------------- #
+@shape_contract("(...S) f -> () b")
+def all_finite(arr: np.ndarray) -> bool:
+    """True when every element of a float array is finite."""
+    return bool(np.isfinite(arr).all())
+
+
+@shape_contract("(...S) f, _ -> (...S) f")
+def nan_poison(arr: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Copy of ``arr`` with one seeded-random element replaced by NaN."""
+    out = arr.astype(np.float64, copy=True)
+    flat = out.reshape(-1)
+    flat[int(rng.integers(flat.size))] = np.nan
+    return out
+
+
+def flip_one_byte(path, offset: Optional[int] = None,
+                  rng: Optional[np.random.Generator] = None) -> int:
+    """Flip one byte of the file at ``path`` in place; returns the offset.
+
+    ``offset=None`` picks a seeded-random position via ``rng`` (a fresh
+    ``default_rng(0)`` when omitted).  The byte is XORed with 0xFF, so a
+    second flip at the same offset restores the original file.
+    """
+    with open(path, "rb") as fh:
+        data = bytearray(fh.read())
+    if not data:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    if offset is None:
+        offset = int((rng or np.random.default_rng(0)).integers(len(data)))
+    data[offset] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return offset

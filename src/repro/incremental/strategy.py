@@ -27,6 +27,7 @@ import numpy as np
 from ..autograd import Tensor, no_grad
 from ..data.sampler import NegativeSampler
 from ..data.schema import SpanDataset, TemporalSplit
+from ..faults import fire as _fault_probe
 from ..models.base import MSRModel, UserState
 from ..nn import Adam, clip_grad_norm
 
@@ -108,6 +109,8 @@ class IncrementalStrategy:
         self.states: Dict[int, UserState] = model.init_all_users(all_users)
         #: wall-clock seconds per training call, keyed by span (0 = pretrain)
         self.train_times: Dict[int, float] = {}
+        #: lifetime optimizer-step counter (fault-injection probe index)
+        self._fault_step = 0
 
     # ------------------------------------------------------------------ #
     def _all_user_ids(self) -> List[int]:
@@ -139,6 +142,16 @@ class IncrementalStrategy:
 
     def interest_counts(self) -> Dict[int, int]:
         return {u: s.num_interests for u, s in self.states.items()}
+
+    def random_generators(self) -> Dict[str, np.random.Generator]:
+        """Every RNG whose stream must survive a checkpoint/restore for
+        a resumed run to be bit-identical to an uninterrupted one.
+        Strategies with extra generators extend this mapping."""
+        return {
+            "strategy": self.rng,
+            "sampler": self.sampler.rng,
+            "model": self.model.rng,
+        }
 
     # ------------------------------------------------------------------ #
     # shared training machinery
@@ -193,6 +206,11 @@ class IncrementalStrategy:
                     extra = loss_hook(state, interests, payload)
                     if extra is not None:
                         loss = loss + extra
+                mods = _fault_probe("train-step", step=self._fault_step,
+                                    user=payload.user)
+                self._fault_step += 1
+                if mods.get("poison_nan"):
+                    loss = loss * Tensor(float("nan"), requires_grad=False)
                 if not np.isfinite(loss.data).all():
                     # failure containment: a non-finite loss (degenerate
                     # negatives, exploded logits) must not poison the

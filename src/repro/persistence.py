@@ -1,4 +1,4 @@
-"""Checkpointing for incremental training state.
+"""Crash-safe checkpointing for incremental training state.
 
 An incremental recommender is a *stateful production system*: between
 time spans the operator must persist the model parameters, every user's
@@ -7,41 +7,151 @@ IMSR), the creation tags, and per-user attention weights.  This module
 serializes all of that to a single ``.npz`` file and restores it into a
 freshly constructed strategy.
 
+Format v2 adds the guarantees a long-lived service needs:
+
+* **atomic writes** — the archive is staged to a temp file, fsynced, and
+  committed with ``os.replace``; a crash at any instant leaves either
+  the old checkpoint or the new one, never a truncated hybrid;
+* **a manifest** — per-array SHA-256 checksums plus run metadata (span
+  index, strategy/model/config fingerprint, and the bit-generator state
+  of every RNG the strategy owns, so a resumed run continues the exact
+  random stream);
+* **verification** — a whole-file SHA-256 trailer is appended after the
+  zip archive (zip readers ignore bytes past the end-of-central-directory
+  record, so ``np.load`` still opens the file directly), making *any*
+  single flipped byte or truncation detectable; :func:`verify_checkpoint`
+  additionally re-hashes every array against the manifest, and
+  :func:`load_checkpoint` always verifies *before* mutating any state,
+  so a corrupt file can never half-restore a strategy;
+* **v1 compatibility** — archives written before the manifest existed
+  still load (zip CRCs are their only integrity check).
+
 Example
 -------
->>> save_checkpoint(strategy, "span3.npz")          # after train_span(3)
+>>> save_checkpoint(strategy, "span3")              # lands at span3.npz
 >>> fresh = make_strategy("IMSR", "ComiRec-DR", split, config)
->>> load_checkpoint(fresh, "span3.npz")             # ready for span 4
+>>> load_checkpoint(fresh, "span3")                 # ready for span 4
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import logging
+import os
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
+from . import faults
 from .incremental.strategy import IncrementalStrategy
 from .nn import Parameter
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+logger = logging.getLogger(__name__)
+
+_FORMAT_VERSION = 2
+
+#: whole-file integrity trailer: b"\n" + marker + 64 hex chars + b"\n",
+#: appended after the zip end-of-central-directory record
+_TRAILER_MARKER = b"repro-checkpoint-sha256:"
+_TRAILER_LEN = 1 + len(_TRAILER_MARKER) + 64 + 1
+
+__all__ = [
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "verify_checkpoint",
+    "checkpoint_info",
+    "run_fingerprint",
+    "atomic_write_bytes",
+    "normalize_checkpoint_path",
+]
 
 
-def save_checkpoint(strategy: IncrementalStrategy, path: PathLike) -> None:
-    """Serialize a strategy's model parameters and all user states."""
+class CheckpointError(ValueError):
+    """A checkpoint is corrupt, truncated, or incompatible."""
+
+
+def normalize_checkpoint_path(path: PathLike) -> Path:
+    """Canonical on-disk location for a checkpoint path.
+
+    ``np.savez_compressed`` silently appends ``.npz`` when the suffix is
+    missing; normalizing once in both directions keeps ``save``/``load``
+    symmetric for suffix-less paths like ``"span3"``.
+    """
+    p = Path(path)
+    if p.suffix != ".npz":
+        p = p.with_name(p.name + ".npz")
+    return p
+
+
+def atomic_write_bytes(data: bytes, path: PathLike, kind: str = "file") -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + replace).
+
+    Fires the ``io-write`` fault probe before staging and ``io-replace``
+    after the temp file is durable but before the commit — the two
+    instants a crash-safety test needs to hit.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    faults.fire("io-write", path=str(path), kind=kind)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        faults.fire("io-replace", path=str(path), kind=kind)
+        os.replace(tmp, path)
+        _fsync_directory(path.parent)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def _fsync_directory(directory: Path) -> None:
+    try:
+        dir_fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds — replace is still atomic
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass  # some filesystems reject directory fsync; not fatal
+    finally:
+        os.close(dir_fd)
+
+
+def _array_digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+def run_fingerprint(strategy: IncrementalStrategy) -> str:
+    """Stable hash of everything that must match for a resume to be
+    valid: strategy, model architecture, and the training config."""
+    payload = {
+        "strategy": strategy.name,
+        "model_class": type(strategy.model).__name__,
+        "model_family": strategy.model.family,
+        "num_items": strategy.model.num_items,
+        "dim": strategy.model.dim,
+        "K0": strategy.model.K0,
+        "config": {k: v for k, v in sorted(vars(strategy.config).items())},
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _collect_arrays(strategy: IncrementalStrategy) -> Dict[str, np.ndarray]:
     arrays: Dict[str, np.ndarray] = {}
     for name, param in strategy.model.named_parameters():
         arrays[f"param/{name}"] = param.data
-
-    meta = {
-        "version": _FORMAT_VERSION,
-        "strategy": strategy.name,
-        "model_family": strategy.model.family,
-        "users": sorted(strategy.states),
-    }
     for user, state in strategy.states.items():
         arrays[f"user/{user}/interests"] = state.interests
         arrays[f"user/{user}/prev_interests"] = state.prev_interests
@@ -49,61 +159,233 @@ def save_checkpoint(strategy: IncrementalStrategy, path: PathLike) -> None:
         arrays[f"user/{user}/n_existing"] = np.array([state.n_existing])
         if state.sa_weights is not None:
             arrays[f"user/{user}/sa_weights"] = state.sa_weights.data
-    arrays["meta"] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    return arrays
+
+
+def save_checkpoint(strategy: IncrementalStrategy, path: PathLike,
+                    span: Optional[int] = None) -> Path:
+    """Atomically serialize model parameters, user states, and RNG
+    streams; returns the normalized path the archive landed at."""
+    path = normalize_checkpoint_path(path)
+    arrays = _collect_arrays(strategy)
+
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "strategy": strategy.name,
+        "model_family": strategy.model.family,
+        "users": sorted(strategy.states),
+        "span": span,
+        "fingerprint": run_fingerprint(strategy),
+        "rng": {
+            name: gen.bit_generator.state
+            for name, gen in strategy.random_generators().items()
+        },
+        "arrays": {
+            name: {
+                "sha256": _array_digest(arr),
+                "shape": list(arr.shape),
+                "dtype": str(arr.dtype),
+            }
+            for name, arr in arrays.items()
+        },
+    }
+    payload = dict(arrays)
+    payload["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(str(path), **arrays)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    blob = buffer.getvalue()
+    trailer = (b"\n" + _TRAILER_MARKER
+               + hashlib.sha256(blob).hexdigest().encode("ascii") + b"\n")
+    atomic_write_bytes(blob + trailer, path, kind="checkpoint")
+    return path
 
 
-def load_checkpoint(strategy: IncrementalStrategy, path: PathLike) -> None:
+def _split_trailer(data: bytes):
+    """(zip bytes, declared whole-file digest or None) for raw file bytes."""
+    tail = data[-_TRAILER_LEN:]
+    if (len(data) > _TRAILER_LEN and tail.startswith(b"\n" + _TRAILER_MARKER)
+            and tail.endswith(b"\n")):
+        digest = tail[1 + len(_TRAILER_MARKER):-1]
+        try:
+            digest_text = digest.decode("ascii")
+            int(digest_text, 16)
+        except (UnicodeDecodeError, ValueError):
+            return data, None
+        return data[:-_TRAILER_LEN], digest_text
+    return data, None
+
+
+# ---------------------------------------------------------------------- #
+# reading / verification
+# ---------------------------------------------------------------------- #
+def _read_archive(path: Path, verify: bool = True):
+    """Load (manifest, arrays) fully into memory, validating integrity.
+
+    Returns the parsed manifest/meta dict and a ``{name: ndarray}`` map.
+    Every array is read eagerly so zip CRC checks run here, and (for v2)
+    every SHA-256 is compared against the manifest — all *before* any
+    caller mutates strategy state.  Raises :class:`CheckpointError` on
+    any corruption, truncation, or malformed metadata.
+    """
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    data = path.read_bytes()
+    blob, declared_digest = _split_trailer(data)
+    if verify and declared_digest is not None:
+        actual = hashlib.sha256(blob).hexdigest()
+        if actual != declared_digest:
+            raise CheckpointError(
+                f"checkpoint {path} fails its whole-file SHA-256 check — "
+                f"the file is corrupt or truncated")
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
+            names = list(archive.files)
+            if "manifest" in names:
+                meta = json.loads(bytes(archive["manifest"].tobytes()).decode("utf-8"))
+            elif "meta" in names:  # format v1
+                meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+            else:
+                raise CheckpointError(
+                    f"checkpoint {path} has no manifest/meta entry")
+            arrays = {
+                name: archive[name]
+                for name in names
+                if name not in ("manifest", "meta")
+            }
+    except CheckpointError:
+        raise
+    except (OSError, ValueError, KeyError, EOFError, NotImplementedError,
+            zipfile.BadZipFile, zlib.error) as exc:
+        # the open-ended exception set zipfile/np.load raise on mangled
+        # input; v2 files never get here corrupt (whole-file hash above)
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt or truncated: {exc}") from exc
+
+    version = meta.get("version")
+    if version not in (1, _FORMAT_VERSION):
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} in {path}")
+    if version == _FORMAT_VERSION and declared_digest is None:
+        raise CheckpointError(
+            f"checkpoint {path} declares format v2 but its whole-file "
+            f"integrity trailer is missing or mangled")
+    if verify and version == _FORMAT_VERSION:
+        declared = meta.get("arrays", {})
+        if set(declared) != set(arrays):
+            missing = sorted(set(declared) - set(arrays))
+            extra = sorted(set(arrays) - set(declared))
+            raise CheckpointError(
+                f"checkpoint {path} array set disagrees with its manifest "
+                f"(missing={missing[:5]}, undeclared={extra[:5]})")
+        for name, entry in declared.items():
+            arr = arrays[name]
+            if list(arr.shape) != entry["shape"] or str(arr.dtype) != entry["dtype"]:
+                raise CheckpointError(
+                    f"checkpoint {path} array {name!r} has shape/dtype "
+                    f"{arr.shape}/{arr.dtype}, manifest says "
+                    f"{tuple(entry['shape'])}/{entry['dtype']}")
+            if _array_digest(arr) != entry["sha256"]:
+                raise CheckpointError(
+                    f"checkpoint {path} array {name!r} fails its SHA-256 "
+                    f"check — the file was corrupted after writing")
+    return meta, arrays
+
+
+def verify_checkpoint(path: PathLike) -> Dict[str, object]:
+    """Fully validate a checkpoint's integrity; returns its manifest.
+
+    For format v2 every array is re-hashed against the manifest; any
+    single flipped byte or truncation raises :class:`CheckpointError`.
+    Format v1 archives only get the zip-level CRC check (every array is
+    still read in full, so torn files are rejected).
+    """
+    path = normalize_checkpoint_path(path)
+    meta, _ = _read_archive(path, verify=True)
+    return meta
+
+
+def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
+                    strict: bool = True) -> Dict[str, object]:
     """Restore a checkpoint into ``strategy`` in place.
 
     The strategy must be built on the same model architecture and data
-    split (same parameter shapes and user ids); user interest matrices
-    may have any row count — they are restored verbatim.
+    split (same parameter shapes); user interest matrices may have any
+    row count — they are restored verbatim.  Integrity and compatibility
+    are fully validated *before* the first mutation, so a failed load
+    leaves the strategy exactly as it was.
+
+    ``strict`` (default) raises when the checkpoint contains users the
+    strategy does not know; pass ``strict=False`` to skip them with a
+    logged warning instead (e.g. loading into a truncated split).
+
+    Returns the checkpoint manifest.
     """
-    with np.load(str(path), allow_pickle=False) as archive:
-        meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
-        if meta.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint version {meta.get('version')!r}"
-            )
-        if meta.get("model_family") != strategy.model.family:
-            raise ValueError(
-                f"checkpoint is for a {meta.get('model_family')!r}-family "
-                f"model, strategy has {strategy.model.family!r}"
-            )
+    path = normalize_checkpoint_path(path)
+    meta, arrays = _read_archive(path, verify=True)
 
-        params = dict(strategy.model.named_parameters())
-        for key in archive.files:
-            if not key.startswith("param/"):
-                continue
-            name = key[len("param/"):]
-            if name not in params:
-                raise KeyError(f"checkpoint parameter {name!r} not in model")
-            if params[name].data.shape != archive[key].shape:
-                raise ValueError(
-                    f"shape mismatch for parameter {name!r}: "
-                    f"{params[name].data.shape} vs {archive[key].shape}"
-                )
-            params[name].data[...] = archive[key]
+    if meta.get("model_family") != strategy.model.family:
+        raise CheckpointError(
+            f"checkpoint is for a {meta.get('model_family')!r}-family "
+            f"model, strategy has {strategy.model.family!r}")
 
-        for user in meta["users"]:
-            state = strategy.states.get(int(user))
-            if state is None:
-                continue
-            state.interests = archive[f"user/{user}/interests"].copy()
-            state.prev_interests = archive[f"user/{user}/prev_interests"].copy()
-            state.created_span = archive[f"user/{user}/created_span"].copy()
-            state.n_existing = int(archive[f"user/{user}/n_existing"][0])
-            sa_key = f"user/{user}/sa_weights"
-            if sa_key in archive.files:
-                state.sa_weights = Parameter(archive[sa_key].copy())
+    params = dict(strategy.model.named_parameters())
+    ckpt_params = {k[len("param/"):]: v for k, v in arrays.items()
+                   if k.startswith("param/")}
+    missing = sorted(set(params) - set(ckpt_params))
+    if missing:
+        raise CheckpointError(
+            f"checkpoint lacks model parameter(s) {missing[:5]}")
+    for name, arr in ckpt_params.items():
+        if name not in params:
+            raise KeyError(f"checkpoint parameter {name!r} not in model")
+        if params[name].data.shape != arr.shape:
+            raise CheckpointError(
+                f"shape mismatch for parameter {name!r}: "
+                f"{params[name].data.shape} vs {arr.shape}")
+
+    users = [int(u) for u in meta["users"]]
+    unknown = [u for u in users if u not in strategy.states]
+    if unknown:
+        if strict:
+            raise CheckpointError(
+                f"checkpoint contains {len(unknown)} user(s) absent from "
+                f"the strategy (first few: {unknown[:5]}); pass "
+                f"strict=False to skip them")
+        logger.warning(
+            "load_checkpoint: skipping %d checkpoint user(s) absent from "
+            "the strategy: %s%s", len(unknown), unknown[:10],
+            "..." if len(unknown) > 10 else "")
+
+    # -------- all validation passed: apply ---------------------------- #
+    for name, arr in ckpt_params.items():
+        params[name].data[...] = arr
+
+    for user in users:
+        state = strategy.states.get(user)
+        if state is None:
+            continue  # counted above; strict mode already raised
+        state.interests = arrays[f"user/{user}/interests"].copy()
+        state.prev_interests = arrays[f"user/{user}/prev_interests"].copy()
+        state.created_span = arrays[f"user/{user}/created_span"].copy()
+        state.n_existing = int(arrays[f"user/{user}/n_existing"][0])
+        sa_key = f"user/{user}/sa_weights"
+        if sa_key in arrays:
+            state.sa_weights = Parameter(arrays[sa_key].copy())
+
+    for name, rng_state in meta.get("rng", {}).items():
+        gen = strategy.random_generators().get(name)
+        if gen is not None:
+            gen.bit_generator.state = rng_state
+
+    return meta
 
 
-def checkpoint_info(path: PathLike) -> Dict[str, object]:
-    """Read a checkpoint's metadata without loading arrays."""
-    with np.load(str(path), allow_pickle=False) as archive:
-        meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
-        meta["num_arrays"] = len(archive.files)
+def checkpoint_info(path: PathLike, verify: bool = False) -> Dict[str, object]:
+    """Read a checkpoint's metadata; with ``verify``, re-hash every
+    array against the manifest first."""
+    path = normalize_checkpoint_path(path)
+    meta, arrays = _read_archive(path, verify=verify)
+    meta["num_arrays"] = len(arrays) + 1  # + the manifest entry itself
     return meta

@@ -1,11 +1,21 @@
-"""Tests for checkpoint save/load round-trips."""
+"""Tests for checkpoint save/load round-trips and format-v2 integrity."""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.experiments import make_strategy, run_strategy
+from repro.faults import FaultPlan, InjectedIOError, SimulatedCrash, active, flip_one_byte
 from repro.incremental import TrainConfig
-from repro.persistence import checkpoint_info, load_checkpoint, save_checkpoint
+from repro.persistence import (
+    CheckpointError,
+    checkpoint_info,
+    load_checkpoint,
+    normalize_checkpoint_path,
+    save_checkpoint,
+    verify_checkpoint,
+)
 
 
 @pytest.fixture()
@@ -122,3 +132,233 @@ class TestValidation:
         assert meta["strategy"] == "IMSR"
         assert meta["model_family"] == "dr"
         assert len(meta["users"]) == len(strategy.states)
+
+    def test_strict_rejects_unknown_users(self, tiny_split, fast_config,
+                                          tmp_path):
+        strategy = build(tiny_split, fast_config)
+        path = save_checkpoint(strategy, tmp_path / "full.npz")
+        fresh = build(tiny_split, fast_config)
+        dropped = sorted(fresh.states)[:2]
+        snapshot = fresh.model.state_dict()
+        for user in dropped:
+            del fresh.states[user]
+        with pytest.raises(CheckpointError, match="2 user"):
+            load_checkpoint(fresh, path)
+        # the failed strict load must not have touched anything
+        for name, value in fresh.model.state_dict().items():
+            assert np.array_equal(value, snapshot[name]), name
+
+    def test_strict_false_skips_and_warns(self, tiny_split, fast_config,
+                                          tmp_path, caplog):
+        strategy = build(tiny_split, fast_config)
+        strategy.pretrain()
+        path = save_checkpoint(strategy, tmp_path / "full.npz")
+        fresh = build(tiny_split, fast_config)
+        dropped = sorted(fresh.states)[0]
+        del fresh.states[dropped]
+        with caplog.at_level("WARNING", logger="repro.persistence"):
+            load_checkpoint(fresh, path, strict=False)
+        assert any(str(dropped) in rec.getMessage()
+                   for rec in caplog.records)
+        # every user the strategy does know was still restored
+        for user, state in fresh.states.items():
+            assert np.allclose(state.interests,
+                               strategy.states[user].interests)
+
+
+class TestPathNormalization:
+    def test_save_without_suffix_lands_at_npz(self, tiny_split, fast_config,
+                                              tmp_path):
+        strategy = build(tiny_split, fast_config)
+        landed = save_checkpoint(strategy, tmp_path / "span3")
+        assert landed == tmp_path / "span3.npz"
+        assert landed.exists()
+
+    def test_load_and_verify_accept_suffixless_path(self, tiny_split,
+                                                    fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config)
+        save_checkpoint(strategy, tmp_path / "span3")
+        fresh = build(tiny_split, fast_config)
+        load_checkpoint(fresh, tmp_path / "span3")  # symmetric round trip
+        assert verify_checkpoint(tmp_path / "span3")["version"] == 2
+
+    def test_normalize_is_idempotent(self):
+        assert normalize_checkpoint_path("a/b.npz").name == "b.npz"
+        assert normalize_checkpoint_path("a/b").name == "b.npz"
+        assert normalize_checkpoint_path("a/b.v2").name == "b.v2.npz"
+
+
+class TestIntegrity:
+    """Format v2: any flipped byte or truncation must be detected."""
+
+    @pytest.fixture()
+    def saved(self, tiny_split, fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config)
+        strategy.pretrain()
+        path = save_checkpoint(strategy, tmp_path / "ckpt.npz")
+        return strategy, path
+
+    def test_verify_returns_manifest(self, saved):
+        _, path = saved
+        meta = verify_checkpoint(path)
+        assert meta["version"] == 2
+        assert set(meta["rng"]) == {"model", "sampler", "strategy"}
+        assert all("sha256" in entry for entry in meta["arrays"].values())
+
+    def test_any_flipped_byte_is_rejected(self, tiny_split, fast_config,
+                                          saved):
+        """Property test: flip one byte at structural offsets and a seeded
+        sample of arbitrary offsets; verification and loading must always
+        reject, and a failed load must leave the strategy unmutated."""
+        strategy, path = saved
+        size = path.stat().st_size
+        rng = np.random.default_rng(42)
+        offsets = {0, 3, size - 1, size - 45, size // 2}  # magic, trailer, body
+        offsets.update(int(o) for o in rng.integers(size, size=40))
+        fresh = build(tiny_split, fast_config)
+        snapshot = fresh.model.state_dict()
+        for offset in sorted(offsets):
+            flip_one_byte(path, offset=offset)
+            with pytest.raises(CheckpointError):
+                verify_checkpoint(path)
+            with pytest.raises(CheckpointError):
+                load_checkpoint(fresh, path)
+            for name, value in fresh.model.state_dict().items():
+                assert np.array_equal(value, snapshot[name]), (offset, name)
+            flip_one_byte(path, offset=offset)  # XOR twice restores
+        verify_checkpoint(path)  # file is intact again
+
+    @pytest.mark.parametrize("keep", ["1-byte", "half", "minus-trailer",
+                                      "minus-1"])
+    def test_truncation_is_rejected(self, saved, tmp_path, keep):
+        _, path = saved
+        data = path.read_bytes()
+        cut = {"1-byte": 1, "half": len(data) // 2,
+               "minus-trailer": len(data) - 90, "minus-1": len(data) - 1}[keep]
+        torn = tmp_path / "torn.npz"
+        torn.write_bytes(data[:cut])
+        with pytest.raises(CheckpointError):
+            verify_checkpoint(torn)
+
+    def test_missing_file_is_a_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            verify_checkpoint(tmp_path / "nope.npz")
+
+    def test_v2_without_trailer_is_rejected(self, saved, tmp_path):
+        """Stripping the whole-file trailer must not downgrade a v2 file
+        to unchecked reads."""
+        _, path = saved
+        stripped = tmp_path / "stripped.npz"
+        stripped.write_bytes(path.read_bytes()[:-90])
+        with pytest.raises(CheckpointError, match="trailer"):
+            verify_checkpoint(stripped)
+
+    def test_direct_np_load_still_works(self, saved):
+        """The trailer lives after the zip EOCD, so plain ``np.load`` on
+        the path keeps working for ad-hoc inspection."""
+        _, path = saved
+        with np.load(path, allow_pickle=False) as archive:
+            assert "manifest" in archive.files
+
+
+class TestV1Compatibility:
+    def write_v1(self, strategy, path):
+        """Re-create the pre-manifest archive layout byte-for-byte."""
+        arrays = {}
+        for name, param in strategy.model.named_parameters():
+            arrays[f"param/{name}"] = param.data
+        meta = {
+            "version": 1,
+            "strategy": strategy.name,
+            "model_family": strategy.model.family,
+            "users": sorted(strategy.states),
+        }
+        for user, state in strategy.states.items():
+            arrays[f"user/{user}/interests"] = state.interests
+            arrays[f"user/{user}/prev_interests"] = state.prev_interests
+            arrays[f"user/{user}/created_span"] = state.created_span
+            arrays[f"user/{user}/n_existing"] = np.array([state.n_existing])
+            if state.sa_weights is not None:
+                arrays[f"user/{user}/sa_weights"] = state.sa_weights.data
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(str(path), **arrays)
+
+    def test_v1_archive_still_loads(self, tiny_split, fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config)
+        strategy.pretrain()
+        path = tmp_path / "v1.npz"
+        self.write_v1(strategy, path)
+
+        fresh = build(tiny_split, fast_config)
+        meta = load_checkpoint(fresh, path)
+        assert meta["version"] == 1
+        for (name, a), (_, b) in zip(strategy.model.named_parameters(),
+                                     fresh.model.named_parameters()):
+            assert np.allclose(a.data, b.data), name
+        for user, state in strategy.states.items():
+            assert np.allclose(state.interests,
+                               fresh.states[user].interests)
+
+    def test_v1_verify_reads_every_array(self, tiny_split, fast_config,
+                                         tmp_path):
+        strategy = build(tiny_split, fast_config)
+        path = tmp_path / "v1.npz"
+        self.write_v1(strategy, path)
+        assert verify_checkpoint(path)["version"] == 1
+        # a torn v1 file is still rejected (zip CRC / EOF checks)
+        torn = tmp_path / "torn-v1.npz"
+        torn.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CheckpointError):
+            verify_checkpoint(torn)
+
+
+class TestIOFaults:
+    """Atomic writes survive planned IO failures and torn writes."""
+
+    def test_io_error_leaves_previous_checkpoint_intact(
+            self, tiny_split, fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config)
+        path = save_checkpoint(strategy, tmp_path / "ckpt.npz")
+        before = path.read_bytes()
+
+        strategy.pretrain()  # change the state the next save would write
+        with active(FaultPlan().io_error_on_write(0)):
+            with pytest.raises(InjectedIOError):
+                save_checkpoint(strategy, path)
+
+        assert path.read_bytes() == before
+        assert not (tmp_path / "ckpt.npz.tmp").exists()
+        verify_checkpoint(path)
+
+    def test_crash_during_write_leaves_previous_checkpoint_intact(
+            self, tiny_split, fast_config, tmp_path):
+        strategy = build(tiny_split, fast_config)
+        path = save_checkpoint(strategy, tmp_path / "ckpt.npz")
+        before = path.read_bytes()
+
+        strategy.pretrain()
+        with active(FaultPlan().crash_during_write(0)):
+            with pytest.raises(SimulatedCrash):
+                save_checkpoint(strategy, path)  # dies before os.replace
+
+        assert path.read_bytes() == before
+        assert not (tmp_path / "ckpt.npz.tmp").exists()
+        verify_checkpoint(path)
+
+    def test_round_trip_after_injected_failure(self, tiny_split, fast_config,
+                                               tmp_path):
+        strategy = build(tiny_split, fast_config)
+        strategy.pretrain()
+        path = tmp_path / "ckpt.npz"
+        with active(FaultPlan().io_error_on_write(0)):
+            with pytest.raises(InjectedIOError):
+                save_checkpoint(strategy, path)
+        assert not path.exists()
+
+        save_checkpoint(strategy, path)  # retry without the fault succeeds
+        fresh = build(tiny_split, fast_config)
+        load_checkpoint(fresh, path)
+        for user in list(strategy.states)[:5]:
+            assert np.allclose(strategy.score_user(user),
+                               fresh.score_user(user))

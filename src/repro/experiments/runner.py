@@ -114,7 +114,12 @@ def _prepare_journal(strategy: IncrementalStrategy, checkpoint_dir,
                 f"refusing to resume")
         restored = journal.last_restorable_span()
         if restored is None:
-            journal.spans.clear()  # nothing restorable: retrain everything
+            # nothing restorable: retrain everything, and drop the
+            # aborted run's stale spans/incidents from memory *and* disk
+            # so they cannot leak into the new run's journal or result
+            journal.spans.clear()
+            journal.incidents.clear()
+            journal.write()
         return journal, restored
     journal = SpanJournal(directory, fingerprint=fingerprint,
                           dataset=dataset_name, model=model_name,
@@ -132,6 +137,9 @@ def _non_finite_sites(strategy: IncrementalStrategy) -> List[str]:
     for user, state in strategy.states.items():
         if not faults.all_finite(state.interests):
             sites.append(f"user/{user}/interests")
+        if not faults.all_finite(state.prev_interests):
+            # feeds the retention/distillation loss of the next spans
+            sites.append(f"user/{user}/prev_interests")
         if state.sa_weights is not None and not faults.all_finite(
                 state.sa_weights.data):
             sites.append(f"user/{user}/sa_weights")
@@ -241,6 +249,19 @@ def run_strategy(
                 strategy.score_user, split.spans[t],
                 keep_per_user=keep_per_user, targets=eval_targets,
             )
+            if not (np.isfinite(result.hr) and np.isfinite(result.ndcg)):
+                # the restored state scores non-finite too: nothing left
+                # to roll back to — record a fatal incident rather than
+                # journal the span as a restorable 'good' state
+                journal.record_incident(
+                    span=t, kind="non-finite-metrics",
+                    detail={"hr": repr(result.hr),
+                            "ndcg": repr(result.ndcg)},
+                    action="fatal")
+                raise RuntimeError(
+                    f"span {t} metrics are non-finite even after rolling "
+                    f"back to the last good checkpoint; aborting the run "
+                    f"(incident recorded in {journal.path})")
 
         per_span.append(result)
         per_user.append(result.per_user)

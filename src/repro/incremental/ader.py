@@ -21,7 +21,28 @@ import numpy as np
 from ..autograd import Tensor
 from ..models.base import MSRModel, UserState
 from .imsr.eir import sigmoid_distillation_loss
-from .strategy import IncrementalStrategy, TrainConfig, UserPayload, build_payloads
+from .strategy import (
+    IncrementalStrategy,
+    TrainConfig,
+    UserPayload,
+    build_payloads,
+    decode_json_state,
+    encode_json_state,
+)
+
+
+def encode_pool(pool: Dict[int, List[List[int]]]) -> np.ndarray:
+    """Serialize a replay pool (user -> truncated sequences) to a
+    checkpointable uint8 array."""
+    return encode_json_state(
+        {str(u): [[int(i) for i in seq] for seq in bucket]
+         for u, bucket in pool.items()})
+
+
+def decode_pool(arr: np.ndarray) -> Dict[int, List[List[int]]]:
+    """Inverse of :func:`encode_pool`."""
+    return {int(u): [[int(i) for i in seq] for seq in bucket]
+            for u, bucket in decode_json_state(arr).items()}
 
 
 class ADER(IncrementalStrategy):
@@ -43,6 +64,27 @@ class ADER(IncrementalStrategy):
         #: user -> list of truncated historical sequences (the session pool)
         self.pool: Dict[int, List[List[int]]] = {}
         self._pool_rng = np.random.default_rng(config.seed + 17)
+
+    # ------------------------------------------------------------------ #
+    def random_generators(self):
+        gens = super().random_generators()
+        gens["pool"] = self._pool_rng
+        return gens
+
+    def extra_state(self):
+        state = super().extra_state()
+        state["pool"] = encode_pool(self.pool)
+        return state
+
+    def load_extra_state(self, arrays):
+        arrays = dict(arrays)
+        pool = arrays.pop("pool", None)
+        if pool is None:  # pre-extra-state (v1) checkpoint
+            raise ValueError(
+                "checkpoint has no replay pool for ADER; resuming from it "
+                "would train a different algorithm")
+        super().load_extra_state(arrays)
+        self.pool = decode_pool(pool)
 
     # ------------------------------------------------------------------ #
     def pretrain(self) -> float:

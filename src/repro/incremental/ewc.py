@@ -42,6 +42,27 @@ class EWC(IncrementalStrategy):
         self.anchors: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
+    def extra_state(self):
+        state = super().extra_state()
+        for name, arr in self.fisher.items():
+            state[f"fisher/{name}"] = arr
+        for name, arr in self.anchors.items():
+            state[f"anchor/{name}"] = arr
+        return state
+
+    def load_extra_state(self, arrays):
+        arrays = dict(arrays)
+        fisher = {k[len("fisher/"):]: arrays.pop(k).copy()
+                  for k in list(arrays) if k.startswith("fisher/")}
+        anchors = {k[len("anchor/"):]: arrays.pop(k).copy()
+                   for k in list(arrays) if k.startswith("anchor/")}
+        super().load_extra_state(arrays)
+        # a pre-extra-state (v1) checkpoint legitimately has neither —
+        # EWC saved before any _estimate_fisher() call has empty dicts
+        self.fisher = fisher
+        self.anchors = anchors
+
+    # ------------------------------------------------------------------ #
     def _estimate_fisher(self, payloads: List[UserPayload]) -> None:
         """Diagonal Fisher ≈ mean squared gradient of the loss over a
         sample of the span's users."""

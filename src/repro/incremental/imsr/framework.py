@@ -24,7 +24,14 @@ import numpy as np
 
 from ...autograd import Tensor
 from ...models.base import MSRModel, UserState
-from ..strategy import IncrementalStrategy, TrainConfig, UserPayload, build_payloads
+from ..strategy import (
+    IncrementalStrategy,
+    TrainConfig,
+    UserPayload,
+    build_payloads,
+    decode_json_state,
+    encode_json_state,
+)
 from .nid import detect_new_interests, mean_puzzlement
 from .pit import project_new_interests, trim_mask
 from .variants import get_retainer
@@ -65,6 +72,29 @@ class IMSR(IncrementalStrategy):
         self.expansion_log: Dict[int, List[int]] = {}
         #: span -> users whose new interests were (partly) trimmed
         self.trim_log: Dict[int, Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    def extra_state(self):
+        state = super().extra_state()
+        state["imsr_logs"] = encode_json_state({
+            "expansion": {str(t): [int(u) for u in users]
+                          for t, users in self.expansion_log.items()},
+            "trim": {str(t): {str(u): int(c) for u, c in per_user.items()}
+                     for t, per_user in self.trim_log.items()},
+        })
+        return state
+
+    def load_extra_state(self, arrays):
+        arrays = dict(arrays)
+        logs = arrays.pop("imsr_logs", None)
+        super().load_extra_state(arrays)
+        if logs is not None:  # absent from v1 checkpoints; diagnostics only
+            payload = decode_json_state(logs)
+            self.expansion_log = {int(t): [int(u) for u in users]
+                                  for t, users in payload["expansion"].items()}
+            self.trim_log = {int(t): {int(u): int(c)
+                                      for u, c in per_user.items()}
+                             for t, per_user in payload["trim"].items()}
 
     # ------------------------------------------------------------------ #
     # Algorithm 1: interests expansion (per user, once per epoch)

@@ -16,6 +16,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..models.base import MSRModel
+from .ader import decode_pool, encode_pool
 from .imsr.framework import IMSR
 from .strategy import TrainConfig, UserPayload, build_payloads
 
@@ -32,6 +33,27 @@ class IMSRReplay(IMSR):
         self.replay_per_span = replay_per_span
         self.pool: Dict[int, List[List[int]]] = {}
         self._pool_rng = np.random.default_rng(config.seed + 47)
+
+    # ------------------------------------------------------------------ #
+    def random_generators(self):
+        gens = super().random_generators()
+        gens["pool"] = self._pool_rng
+        return gens
+
+    def extra_state(self):
+        state = super().extra_state()
+        state["pool"] = encode_pool(self.pool)
+        return state
+
+    def load_extra_state(self, arrays):
+        arrays = dict(arrays)
+        pool = arrays.pop("pool", None)
+        if pool is None:  # pre-extra-state (v1) checkpoint
+            raise ValueError(
+                "checkpoint has no replay pool for IMSR+Replay; resuming "
+                "from it would train a different algorithm")
+        super().load_extra_state(arrays)
+        self.pool = decode_pool(pool)
 
     # ------------------------------------------------------------------ #
     def _add_to_pool(self, span) -> None:

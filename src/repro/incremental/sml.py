@@ -21,7 +21,13 @@ import numpy as np
 
 from ..eval.metrics import metrics_at_k
 from ..models.base import MSRModel
-from .strategy import IncrementalStrategy, TrainConfig, build_payloads
+from .strategy import (
+    IncrementalStrategy,
+    TrainConfig,
+    build_payloads,
+    decode_json_state,
+    encode_json_state,
+)
 
 
 class SML(IncrementalStrategy):
@@ -34,6 +40,20 @@ class SML(IncrementalStrategy):
         super().__init__(model, split, config)
         self.alpha_grid = alpha_grid
         self.chosen_alphas: Dict[int, float] = {}
+
+    def extra_state(self):
+        state = super().extra_state()
+        state["sml_alphas"] = encode_json_state(
+            {str(t): float(a) for t, a in self.chosen_alphas.items()})
+        return state
+
+    def load_extra_state(self, arrays):
+        arrays = dict(arrays)
+        alphas = arrays.pop("sml_alphas", None)
+        super().load_extra_state(arrays)
+        if alphas is not None:  # absent from v1 checkpoints; diagnostics only
+            self.chosen_alphas = {int(t): float(a)
+                                  for t, a in decode_json_state(alphas).items()}
 
     def train_span(self, t: int) -> float:
         span = self.split.spans[t - 1]

@@ -18,6 +18,7 @@ what :class:`UserPayload` captures.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
@@ -91,6 +92,18 @@ def merge_payload_items(*payload_lists: Sequence[UserPayload]) -> Dict[int, List
     return merged
 
 
+def encode_json_state(payload) -> np.ndarray:
+    """JSON-serializable object -> uint8 array, for checkpoint storage."""
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return np.frombuffer(blob, dtype=np.uint8)
+
+
+def decode_json_state(arr: np.ndarray):
+    """Inverse of :func:`encode_json_state`."""
+    return json.loads(np.ascontiguousarray(arr, dtype=np.uint8)
+                      .tobytes().decode("utf-8"))
+
+
 class IncrementalStrategy:
     """Skeleton for the compared learning strategies."""
 
@@ -152,6 +165,30 @@ class IncrementalStrategy:
             "sampler": self.sampler.rng,
             "model": self.model.rng,
         }
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Strategy-specific arrays beyond the base state (model
+        parameters, user states, RNG streams) that must survive a
+        checkpoint for a resumed run to execute the same algorithm —
+        replay pools, Fisher estimates, diagnostic logs.  Stored under
+        ``extra/`` in the archive and checksummed like every other
+        array.  Strategies carrying such state override this *together
+        with* :meth:`load_extra_state`; the base strategy has none."""
+        return {}
+
+    def load_extra_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore the mapping produced by :meth:`extra_state`.
+
+        Overrides must ``pop`` the keys they own, delegate the remainder
+        to ``super()``, and only then mutate ``self`` — so an unexpected
+        key fails the load before any state changes.  The base strategy
+        owns no extra state, so any leftover key is a checkpoint /
+        strategy mismatch."""
+        if arrays:
+            raise ValueError(
+                f"checkpoint carries extra strategy state "
+                f"{sorted(arrays)[:5]} that {type(self).__name__} does "
+                f"not know how to restore")
 
     # ------------------------------------------------------------------ #
     # shared training machinery

@@ -3,9 +3,12 @@
 An incremental recommender is a *stateful production system*: between
 time spans the operator must persist the model parameters, every user's
 interest matrix (whose row count varies per user — the whole point of
-IMSR), the creation tags, and per-user attention weights.  This module
-serializes all of that to a single ``.npz`` file and restores it into a
-freshly constructed strategy.
+IMSR), the creation tags, per-user attention weights, and whatever
+*extra* state the strategy accumulates across spans (ADER's replay
+pool, EWC's Fisher estimates — the strategy's ``extra_state()`` hook,
+stored under ``extra/``).  This module serializes all of that to a
+single ``.npz`` file and restores it into a freshly constructed
+strategy.
 
 Format v2 adds the guarantees a long-lived service needs:
 
@@ -40,6 +43,7 @@ import io
 import json
 import logging
 import os
+import tempfile
 import zipfile
 import zlib
 from pathlib import Path
@@ -94,6 +98,11 @@ def normalize_checkpoint_path(path: PathLike) -> Path:
 def atomic_write_bytes(data: bytes, path: PathLike, kind: str = "file") -> None:
     """Write ``data`` to ``path`` atomically (temp + fsync + replace).
 
+    The staging file gets a unique name (``tempfile.mkstemp`` in the
+    target directory), so concurrent writers to the same path never
+    clobber each other's in-flight temp file, and cleanup only ever
+    unlinks the file this call created.
+
     Fires the ``io-write`` fault probe before staging and ``io-replace``
     after the temp file is durable but before the commit — the two
     instants a crash-safety test needs to hit.
@@ -101,9 +110,11 @@ def atomic_write_bytes(data: bytes, path: PathLike, kind: str = "file") -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     faults.fire("io-write", path=str(path), kind=kind)
-    tmp = path.with_name(path.name + ".tmp")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    tmp = Path(tmp_name)
     try:
-        with open(tmp, "wb") as fh:
+        with os.fdopen(fd, "wb") as fh:
             fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
@@ -157,15 +168,23 @@ def _collect_arrays(strategy: IncrementalStrategy) -> Dict[str, np.ndarray]:
         arrays[f"user/{user}/prev_interests"] = state.prev_interests
         arrays[f"user/{user}/created_span"] = state.created_span
         arrays[f"user/{user}/n_existing"] = np.array([state.n_existing])
+        # NID's once-per-span guard: replayed-but-inactive users carry it
+        # across span boundaries, so a resume must restore it too
+        arrays[f"user/{user}/expanded"] = np.array([state.expanded_this_span])
         if state.sa_weights is not None:
             arrays[f"user/{user}/sa_weights"] = state.sa_weights.data
+    # strategy-specific state beyond the base contract: replay pools,
+    # Fisher estimates, diagnostic logs (see IncrementalStrategy.extra_state)
+    for name, arr in strategy.extra_state().items():
+        arrays[f"extra/{name}"] = np.asarray(arr)
     return arrays
 
 
 def save_checkpoint(strategy: IncrementalStrategy, path: PathLike,
                     span: Optional[int] = None) -> Path:
-    """Atomically serialize model parameters, user states, and RNG
-    streams; returns the normalized path the archive landed at."""
+    """Atomically serialize model parameters, user states, strategy
+    extra state, and RNG streams; returns the normalized path the
+    archive landed at."""
     path = normalize_checkpoint_path(path)
     arrays = _collect_arrays(strategy)
 
@@ -359,6 +378,20 @@ def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
             "..." if len(unknown) > 10 else "")
 
     # -------- all validation passed: apply ---------------------------- #
+    # extra strategy state first: a strategy that rejects it (unknown
+    # keys, or a v1 archive missing a replay pool) must fail before any
+    # base state is mutated
+    extra = {k[len("extra/"):]: arrays[k]
+             for k in arrays if k.startswith("extra/")}
+    try:
+        strategy.load_extra_state(extra)
+    except CheckpointError:
+        raise
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} extra strategy state cannot be restored "
+            f"into {type(strategy).__name__}: {exc}") from exc
+
     for name, arr in ckpt_params.items():
         params[name].data[...] = arr
 
@@ -370,6 +403,9 @@ def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
         state.prev_interests = arrays[f"user/{user}/prev_interests"].copy()
         state.created_span = arrays[f"user/{user}/created_span"].copy()
         state.n_existing = int(arrays[f"user/{user}/n_existing"][0])
+        expanded_key = f"user/{user}/expanded"
+        if expanded_key in arrays:  # absent from older archives
+            state.expanded_this_span = bool(arrays[expanded_key][0])
         sa_key = f"user/{user}/sa_weights"
         if sa_key in arrays:
             state.sa_weights = Parameter(arrays[sa_key].copy())

@@ -16,7 +16,7 @@ from repro.experiments import (
     make_strategy,
     run_strategy,
 )
-from repro.faults import FaultPlan, SimulatedCrash, active, flip_one_byte
+from repro.faults import Fault, FaultPlan, SimulatedCrash, active, flip_one_byte
 from repro.incremental import TrainConfig
 
 
@@ -144,6 +144,37 @@ class TestCrashResumeEquivalence:
         assert_metric_identical(resumed, reference)
 
 
+class TestStatefulStrategyResume:
+    """Strategies carrying state beyond the base contract — replay
+    pools, Fisher estimates — must resume metric-identically too: their
+    extra state rides in the checkpoint's ``extra/`` arrays and their
+    private RNG streams in the manifest."""
+
+    KWARGS = {"ADER": {"pool_per_user": 2},
+              "EWC": {"fisher_samples": 8},
+              "IMSR+Replay": {"pool_per_user": 2}}
+
+    def _build(self, tiny_split, name):
+        return make_strategy(name, "ComiRec-DR", tiny_split, fast_config(),
+                             model_kwargs={"dim": 10, "num_interests": 2},
+                             strategy_kwargs=self.KWARGS[name])
+
+    @pytest.mark.parametrize("name", ["ADER", "EWC", "IMSR+Replay"])
+    def test_crash_then_resume_is_metric_identical(self, tiny_split,
+                                                   tmp_path, name):
+        reference = run_strategy(self._build(tiny_split, name), tiny_split,
+                                 "tiny", "ComiRec-DR")
+        with active(FaultPlan().crash_at_span_boundary(1)):
+            with pytest.raises(SimulatedCrash):
+                run_strategy(self._build(tiny_split, name), tiny_split,
+                             "tiny", "ComiRec-DR", checkpoint_dir=tmp_path)
+        resumed = run_strategy(self._build(tiny_split, name), tiny_split,
+                               "tiny", "ComiRec-DR", checkpoint_dir=tmp_path,
+                               resume=True)
+        assert resumed.resumed_spans == [1]
+        assert_metric_identical(resumed, reference)
+
+
 class TestResumeSafety:
     def test_fingerprint_mismatch_refuses_resume(self, tiny_split, journaled):
         ckdir, _ = journaled
@@ -173,6 +204,28 @@ class TestResumeSafety:
             if journal.last_restorable_span() != 3:
                 flip_one_byte(target, offset=offset)
 
+    def test_unrestorable_resume_drops_stale_spans_and_incidents(
+            self, tiny_split, baseline, tmp_path):
+        """When nothing is restorable the prior run's journal records —
+        spans pointing at corrupt checkpoints *and* incidents — must not
+        leak into the fresh run's journal or its RunResult."""
+        plan = FaultPlan(seed=5).poison_params_after_span(2)
+        with active(plan):
+            first = run_strategy(build(tiny_split), tiny_split, "tiny",
+                                 "ComiRec-DR", checkpoint_dir=tmp_path)
+        assert first.incidents  # the aborted run left an incident behind
+        for ckpt in tmp_path.glob("span-*.npz"):
+            flip_one_byte(ckpt, rng=np.random.default_rng(1))
+
+        result = run_strategy(build(tiny_split), tiny_split, "tiny",
+                              "ComiRec-DR", checkpoint_dir=tmp_path,
+                              resume=True)
+        assert result.resumed_spans == []
+        assert result.incidents == []
+        assert_metric_identical(result, baseline)
+        journal = SpanJournal.load(tmp_path)
+        assert journal.incidents == []
+
 
 class TestDivergenceRollback:
     def test_poisoned_params_trigger_rollback_incident(self, tiny_split,
@@ -199,6 +252,59 @@ class TestDivergenceRollback:
             assert np.isfinite(span_result.ndcg)
         for state in (journal, ):
             assert state.last_restorable_span() == 3
+
+    def test_poisoned_prev_interests_trigger_rollback(self, tiny_split,
+                                                      tmp_path):
+        """A NaN in a prev-interests snapshot feeds the retention loss
+        of later spans, so the guard must catch it too."""
+        def poison(strategy=None, **info):
+            if strategy is None:
+                return
+            state = strategy.states[sorted(strategy.states)[0]]
+            if state.prev_interests.size == 0:
+                state.prev_interests = np.full(
+                    (1, state.interests.shape[1]), np.nan)
+            else:
+                state.prev_interests = state.prev_interests.copy()
+                state.prev_interests.reshape(-1)[0] = np.nan
+
+        plan = FaultPlan()
+        plan.faults.append(Fault("span-trained", "call",
+                                 match={"span": 2}, payload=poison))
+        with active(plan):
+            result = run_strategy(build(tiny_split), tiny_split, "tiny",
+                                  "ComiRec-DR", checkpoint_dir=tmp_path)
+        assert len(result.incidents) == 1
+        incident = result.incidents[0]
+        assert incident["kind"] == "non-finite-state"
+        assert any("prev_interests" in site for site in incident["detail"])
+        for span_result in result.per_span:
+            assert np.isfinite(span_result.hr)
+
+    def test_metrics_still_non_finite_after_rollback_is_fatal(
+            self, tiny_split, tmp_path, monkeypatch):
+        """A rollback that does not cure the metrics must abort the run
+        with a fatal incident, never journal the span as a good state."""
+        import repro.experiments.runner as runner_mod
+
+        real = runner_mod.evaluate_span
+
+        def nan_eval(score_fn, span, **kwargs):
+            result = real(score_fn, span, **kwargs)
+            result.hr = float("nan")
+            return result
+
+        monkeypatch.setattr(runner_mod, "evaluate_span", nan_eval)
+        with pytest.raises(RuntimeError, match="non-finite even after"):
+            run_strategy(build(tiny_split), tiny_split, "tiny", "ComiRec-DR",
+                         checkpoint_dir=tmp_path)
+
+        journal = SpanJournal.load(tmp_path)
+        # rollback incident first, then the fatal one; span 1 never
+        # entered the journal as a restorable state
+        assert [i["action"] for i in journal.incidents] == \
+            ["rolled-back-to-span-0", "fatal"]
+        assert sorted(journal.spans) == [0]
 
     def test_rollback_without_checkpointing_is_not_armed(self, tiny_split):
         """Without a checkpoint_dir there is no divergence guard — the

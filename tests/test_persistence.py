@@ -261,6 +261,90 @@ class TestIntegrity:
             assert "manifest" in archive.files
 
 
+class TestExtraState:
+    """Strategy state beyond the base contract (replay pools, Fisher
+    estimates, private RNG streams) rides in the checkpoint."""
+
+    def test_ader_pool_and_rng_round_trip(self, tiny_split, fast_config,
+                                          tmp_path):
+        strategy = build(tiny_split, fast_config, name="ADER")
+        strategy.pretrain()
+        strategy.train_span(1)
+        path = save_checkpoint(strategy, tmp_path / "ader.npz")
+        meta = verify_checkpoint(path)
+        assert "pool" in meta["rng"]
+        assert any(name.startswith("extra/") for name in meta["arrays"])
+
+        fresh = build(tiny_split, fast_config, name="ADER")
+        load_checkpoint(fresh, path)
+        assert fresh.pool == strategy.pool
+        assert (fresh._pool_rng.bit_generator.state
+                == strategy._pool_rng.bit_generator.state)
+
+    def test_load_rolls_back_pool_and_rng_of_mutated_strategy(
+            self, tiny_split, fast_config, tmp_path):
+        """The divergence guard restores checkpoints into a *dirty*
+        strategy: pool contents and the pool RNG must roll back too."""
+        strategy = build(tiny_split, fast_config, name="ADER")
+        strategy.pretrain()
+        path = save_checkpoint(strategy, tmp_path / "good.npz")
+        saved_pool = {u: [list(s) for s in b]
+                      for u, b in strategy.pool.items()}
+        saved_rng = strategy._pool_rng.bit_generator.state
+
+        strategy.train_span(1)  # grows the pool, advances the RNG
+        assert strategy.pool != saved_pool
+
+        load_checkpoint(strategy, path)
+        assert {u: [list(s) for s in b]
+                for u, b in strategy.pool.items()} == saved_pool
+        assert strategy._pool_rng.bit_generator.state == saved_rng
+
+    def test_ewc_fisher_and_anchors_round_trip(self, tiny_split, fast_config,
+                                               tmp_path):
+        strategy = build(tiny_split, fast_config, name="EWC")
+        strategy.pretrain()
+        assert strategy.fisher  # pretraining estimated the Fisher
+        path = save_checkpoint(strategy, tmp_path / "ewc.npz")
+
+        fresh = build(tiny_split, fast_config, name="EWC")
+        assert not fresh.fisher
+        load_checkpoint(fresh, path)
+        assert set(fresh.fisher) == set(strategy.fisher)
+        for name in strategy.fisher:
+            assert np.array_equal(fresh.fisher[name], strategy.fisher[name])
+        assert set(fresh.anchors) == set(strategy.anchors)
+        for name in strategy.anchors:
+            assert np.array_equal(fresh.anchors[name], strategy.anchors[name])
+
+    def test_foreign_extra_state_rejected_before_mutation(
+            self, tiny_split, fast_config, tmp_path):
+        """A checkpoint whose extra state the target strategy cannot
+        restore fails the load before any base state is touched."""
+        ader = build(tiny_split, fast_config, name="ADER")
+        ader.pretrain()
+        path = save_checkpoint(ader, tmp_path / "ader.npz")
+
+        ft = build(tiny_split, fast_config, name="FT")
+        snapshot = ft.model.state_dict()
+        with pytest.raises(CheckpointError, match="extra strategy state"):
+            load_checkpoint(ft, path)
+        for name, value in ft.model.state_dict().items():
+            assert np.array_equal(value, snapshot[name]), name
+
+    def test_v1_checkpoint_refused_for_pooled_strategy(
+            self, tiny_split, fast_config, tmp_path):
+        """A v1 archive carries no replay pool; silently resuming ADER
+        from one would train a different algorithm, so it must raise."""
+        strategy = build(tiny_split, fast_config, name="ADER")
+        strategy.pretrain()
+        path = tmp_path / "v1.npz"
+        TestV1Compatibility().write_v1(strategy, path)
+        fresh = build(tiny_split, fast_config, name="ADER")
+        with pytest.raises(CheckpointError, match="replay pool"):
+            load_checkpoint(fresh, path)
+
+
 class TestV1Compatibility:
     def write_v1(self, strategy, path):
         """Re-create the pre-manifest archive layout byte-for-byte."""
@@ -328,7 +412,7 @@ class TestIOFaults:
                 save_checkpoint(strategy, path)
 
         assert path.read_bytes() == before
-        assert not (tmp_path / "ckpt.npz.tmp").exists()
+        assert not list(tmp_path.glob("*.tmp"))  # no staging leftovers
         verify_checkpoint(path)
 
     def test_crash_during_write_leaves_previous_checkpoint_intact(
@@ -343,8 +427,23 @@ class TestIOFaults:
                 save_checkpoint(strategy, path)  # dies before os.replace
 
         assert path.read_bytes() == before
-        assert not (tmp_path / "ckpt.npz.tmp").exists()
+        assert not list(tmp_path.glob("*.tmp"))  # no staging leftovers
         verify_checkpoint(path)
+
+    def test_concurrent_writers_do_not_clobber_each_others_temp(
+            self, tmp_path):
+        """Staging names are unique per call, so a write never touches
+        another writer's in-flight temp file for the same target."""
+        from repro.persistence import atomic_write_bytes
+
+        target = tmp_path / "ckpt.npz"
+        # another process's staging file, under the old fixed sibling name
+        other = tmp_path / "ckpt.npz.tmp"
+        other.write_bytes(b"other writer's in-flight bytes")
+
+        atomic_write_bytes(b"payload", target)
+        assert target.read_bytes() == b"payload"
+        assert other.read_bytes() == b"other writer's in-flight bytes"
 
     def test_round_trip_after_injected_failure(self, tiny_split, fast_config,
                                                tmp_path):

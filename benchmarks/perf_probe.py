@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Measure the batched execution engine against the per-user baselines.
+
+Usage:  PYTHONPATH=src python benchmarks/perf_probe.py
+            [--repeats N] [--out BENCH_perf.json]
+            [--users-per-batch B]
+
+Times the three batched layers this repo ships against their per-user
+counterparts, at two world scales:
+
+* **train** — one epoch of the shared training loop, per-user
+  (``users_per_batch=1``, the paper-exact path) vs micro-batched
+  (one padded autograd forward + one optimizer step per user group);
+* **extract** — differentiable interest extraction, per-user
+  ``compute_interests`` vs :func:`repro.models.batched_compute_interests`;
+* **eval** — span evaluation, the historical per-item loop
+  (``rank_of_target`` per test item) vs the vectorized evaluator
+  (``evaluate_span`` with ``batch_score_fn`` + ``ranks_of_targets``),
+  plus the stacked-GEMM scoring mode as extra headroom.
+
+Emits a JSON report (``BENCH_perf.json`` in CI) that
+``benchmarks/summarize.py --perf`` folds into the markdown summary, so
+speedups are tracked next to the reproduction metrics and CI can assert
+they do not regress.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.data import WorldConfig, generate_world, split_time_spans
+from repro.eval import evaluate_span
+from repro.eval.metrics import hit_at_k, ndcg_at_k, rank_of_target
+from repro.incremental import TrainConfig
+from repro.incremental.strategy import build_payloads
+from repro.experiments import make_strategy
+from repro.models import batched_compute_interests
+from repro.models.aggregator import score_items_batch
+
+SCALES = {
+    "small": WorldConfig(
+        num_users=32, num_items=200, num_topics=8,
+        init_topics_per_user=(2, 3), new_topic_rate=0.6, num_spans=3,
+        pretrain_events_per_user=(16, 24), span_events_per_user=(8, 12),
+        initial_catalog_fraction=0.8, span_activity=0.9, seed=11,
+    ),
+    "large": WorldConfig(
+        num_users=96, num_items=800, num_topics=12,
+        init_topics_per_user=(2, 4), new_topic_rate=0.6, num_spans=3,
+        pretrain_events_per_user=(24, 40), span_events_per_user=(10, 16),
+        initial_catalog_fraction=0.8, span_activity=0.95, seed=13,
+    ),
+}
+
+
+def best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall time in seconds (robust to scheduler noise)."""
+    times: List[float] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def build(scale: str, users_per_batch: int):
+    world_cfg = SCALES[scale]
+    world = generate_world(world_cfg)
+    split = split_time_spans(world.interactions, num_items=world_cfg.num_items,
+                             T=world_cfg.num_spans, alpha=0.5)
+
+    def strategy(upb: int):
+        # upb=1 is the untouched paper-exact path; upb>1 turns on the
+        # full batched engine (grouped training + batched snapshot
+        # refresh).  sparse_adam stays off so both arms run the same
+        # optimizer semantics.
+        config = TrainConfig(epochs_pretrain=1, epochs_incremental=1,
+                             num_negatives=10, seed=0, users_per_batch=upb,
+                             batched_snapshots=upb > 1)
+        return make_strategy("IMSR", "ComiRec-DR", split, config,
+                             model_kwargs={"dim": 32, "num_interests": 4})
+
+    return split, strategy
+
+
+def legacy_evaluate(strategy, span) -> Dict[str, float]:
+    """The historical evaluator: per-user scoring, per-item scalar rank."""
+    hits: List[float] = []
+    ndcgs: List[float] = []
+    for user in span.user_ids():
+        items = span.users[user].all_items
+        if not items:
+            continue
+        scores = strategy.score_user(user)
+        for item in items:
+            rank = rank_of_target(scores, item)
+            hits.append(hit_at_k(rank))
+            ndcgs.append(ndcg_at_k(rank))
+    return {"hr": float(np.mean(hits)), "ndcg": float(np.mean(ndcgs))}
+
+
+def measure_scale(scale: str, repeats: int, users_per_batch: int) -> dict:
+    split, strategy_for = build(scale, users_per_batch)
+
+    # ---- train: one pretrain epoch, per-user vs micro-batched -------- #
+    per_user_train = best_of(lambda: strategy_for(1).pretrain(), repeats)
+    batched_train = best_of(
+        lambda: strategy_for(users_per_batch).pretrain(), repeats)
+
+    # ---- extract: differentiable interest extraction ----------------- #
+    probe = strategy_for(1)
+    probe.pretrain()
+    payloads = build_payloads(split.pretrain, probe.config)
+    jobs = [(probe.states[p.user], p.history) for p in payloads]
+
+    def extract_per_user():
+        return [probe.model.compute_interests(s, seq) for s, seq in jobs]
+
+    per_user_extract = best_of(extract_per_user, repeats)
+    batched_extract = best_of(
+        lambda: batched_compute_interests(probe.model, jobs), repeats)
+
+    # ---- eval: legacy per-item loop vs vectorized evaluator ---------- #
+    # Two batched variants: the default exact scoring (bit-identical to
+    # per-user) and the stacked-GEMM throughput mode (float-tolerance).
+    span = split.spans[1]
+    legacy = legacy_evaluate(probe, span)  # warm + correctness reference
+    per_user_eval = best_of(lambda: legacy_evaluate(probe, span), repeats)
+
+    def run_eval(exact: bool):
+        return evaluate_span(
+            probe.score_user, span, targets="all",
+            batch_score_fn=lambda users: probe.score_users(users, exact=exact))
+
+    exact_result = run_eval(exact=True)
+    stacked_result = run_eval(exact=False)
+    exact_eval = best_of(lambda: run_eval(exact=True), repeats)
+    stacked_eval = best_of(lambda: run_eval(exact=False), repeats)
+
+    if not (exact_result.hr == legacy["hr"]
+            and exact_result.ndcg == legacy["ndcg"]):
+        raise AssertionError(
+            f"exact batched evaluator diverged from the legacy loop: "
+            f"{legacy} vs hr={exact_result.hr} ndcg={exact_result.ndcg}")
+    if not (np.isclose(legacy["hr"], stacked_result.hr)
+            and np.isclose(legacy["ndcg"], stacked_result.ndcg)):
+        raise AssertionError(
+            f"stacked batched evaluator diverged from the legacy loop: "
+            f"{legacy} vs hr={stacked_result.hr} ndcg={stacked_result.ndcg}")
+
+    return {
+        "train": {
+            "per_user_s": round(per_user_train, 4),
+            "batched_s": round(batched_train, 4),
+            "speedup": round(per_user_train / max(batched_train, 1e-9), 2),
+        },
+        "extract": {
+            "per_user_s": round(per_user_extract, 4),
+            "batched_s": round(batched_extract, 4),
+            "speedup": round(per_user_extract / max(batched_extract, 1e-9), 2),
+        },
+        "eval": {
+            "per_user_s": round(per_user_eval, 4),
+            "batched_s": round(stacked_eval, 4),
+            "speedup": round(per_user_eval / max(stacked_eval, 1e-9), 2),
+            "exact_s": round(exact_eval, 4),
+            "exact_speedup": round(per_user_eval / max(exact_eval, 1e-9), 2),
+            "hr": round(stacked_result.hr, 6),
+            "ndcg": round(stacked_result.ndcg, 6),
+        },
+    }
+
+
+def measure(repeats: int = 3, users_per_batch: int = 8) -> dict:
+    report = {
+        "version": 1,
+        "tool": "repro.perf",
+        "users_per_batch": users_per_batch,
+        "scales": {},
+    }
+    for scale, cfg in SCALES.items():
+        report["scales"][scale] = {
+            "world": {"users": cfg.num_users, "items": cfg.num_items,
+                      "spans": cfg.num_spans},
+            **measure_scale(scale, repeats, users_per_batch),
+        }
+    return report
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per timing (default 3)")
+    parser.add_argument("--users-per-batch", type=int, default=8,
+                        help="micro-batch group size (default 8)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON report here (default stdout)")
+    args = parser.parse_args(argv)
+    report = measure(repeats=args.repeats,
+                     users_per_batch=args.users_per_batch)
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        for scale, entry in report["scales"].items():
+            print(f"{scale}: train x{entry['train']['speedup']}  "
+                  f"extract x{entry['extract']['speedup']}  "
+                  f"eval x{entry['eval']['speedup']}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

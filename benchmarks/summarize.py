@@ -3,7 +3,7 @@
 
 Usage:  python benchmarks/summarize.py bench_output.txt
             [--lint lint.json] [--contracts src]
-            [--robustness robustness.json]
+            [--robustness robustness.json] [--perf BENCH_perf.json]
 
 Parses the ``===== <title> =====`` sections and the ``N/M shape checks
 hold`` lines the bench harness prints, and emits the markdown summary
@@ -13,7 +13,9 @@ row so lint counts are tracked next to the reproduction metrics; with
 ``--contracts``, per-package shape-contract coverage (decorated public
 functions / total public functions) is appended as well; with
 ``--robustness``, the checkpoint/resume latency report emitted by
-``benchmarks/robustness_probe.py`` is folded in as a row group.
+``benchmarks/robustness_probe.py`` is folded in as a row group; with
+``--perf``, the batched-engine speedups emitted by
+``benchmarks/perf_probe.py`` are folded in the same way.
 """
 
 from __future__ import annotations
@@ -123,10 +125,33 @@ def parse_robustness(text: str) -> List[Tuple[str, str]]:
     return rows
 
 
+def parse_perf(text: str) -> List[Tuple[str, str]]:
+    """Turn a ``perf_probe.py`` JSON report into table rows."""
+    payload = json.loads(text)
+    if payload.get("tool") != "repro.perf":
+        raise ValueError(
+            f"not a perf report (tool={payload.get('tool')!r})")
+    upb = payload.get("users_per_batch", "?")
+    rows: List[Tuple[str, str]] = []
+    for scale, entry in payload.get("scales", {}).items():
+        world = entry.get("world", {})
+        cells = []
+        for layer in ("train", "extract", "eval"):
+            section = entry.get(layer, {})
+            cells.append(f"{layer} x{section.get('speedup', 0)}")
+        rows.append((
+            f"{scale} ({world.get('users', '?')}u/"
+            f"{world.get('items', '?')}i, B={upb})",
+            "  ".join(cells),
+        ))
+    return rows
+
+
 def to_markdown(sections: List[Tuple[str, int, int]],
                 lint: Optional[Tuple[str, str]] = None,
                 coverage: Optional[List[Tuple[str, int, int]]] = None,
-                robustness: Optional[List[Tuple[str, str]]] = None) -> str:
+                robustness: Optional[List[Tuple[str, str]]] = None,
+                perf: Optional[List[Tuple[str, str]]] = None) -> str:
     lines = ["| experiment | shape checks |", "|---|---|"]
     passed_total = checks_total = 0
     for title, passed, total in sections:
@@ -148,6 +173,9 @@ def to_markdown(sections: List[Tuple[str, int, int]],
     if robustness:
         for label, cell in robustness:
             lines.append(f"| robustness: {label} | {cell} |")
+    if perf:
+        for label, cell in perf:
+            lines.append(f"| perf: {label} | {cell} |")
     return "\n".join(lines)
 
 
@@ -169,8 +197,9 @@ def main(argv: List[str]) -> int:
     lint_path = _take_flag(args, "--lint")
     contracts_root = _take_flag(args, "--contracts")
     robustness_path = _take_flag(args, "--robustness")
+    perf_path = _take_flag(args, "--perf")
     if (lint_path == "" or contracts_root == "" or robustness_path == ""
-            or len(args) != 1):
+            or perf_path == "" or len(args) != 1):
         print(__doc__)
         return 2
     text = Path(args[0]).read_text()
@@ -201,8 +230,16 @@ def main(argv: List[str]) -> int:
             print(f"error: could not read robustness report "
                   f"{robustness_path}: {exc}", file=sys.stderr)
             return 2
+    perf = None
+    if perf_path is not None:
+        try:
+            perf = parse_perf(Path(perf_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: could not read perf report {perf_path}: {exc}",
+                  file=sys.stderr)
+            return 2
     print(to_markdown(sections, lint=lint, coverage=coverage,
-                      robustness=robustness))
+                      robustness=robustness, perf=perf))
     return 0
 
 

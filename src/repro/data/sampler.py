@@ -45,6 +45,33 @@ class NegativeSampler:
             collisions = negatives == target
         return negatives
 
+    def sample_batch(self, targets) -> np.ndarray:
+        """Negatives for many targets in one vectorized draw.
+
+        Returns a ``(len(targets), num_negatives)`` array where row ``i``
+        avoids ``targets[i]``; collisions are re-drawn (vectorized) until
+        none remain.  Per-row semantics match :meth:`sample`, but one
+        flat RNG call replaces ``len(targets)`` sequential calls, so the
+        *stream* differs from looping :meth:`sample` — which is why the
+        per-user training loop (``users_per_batch=1``, the paper-exact
+        configuration) keeps calling :meth:`sample` per target and only
+        the micro-batched engine uses this.  Checkpoint/resume stays
+        exact in either mode: the sampler's generator state is part of
+        :meth:`IncrementalStrategy.random_generators`, and a resumed run
+        re-enters the same mode it was saved in.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        negatives = self.rng.integers(
+            0, self.num_items, size=(targets.shape[0], self.num_negatives)
+        )
+        collisions = negatives == targets[:, None]
+        while collisions.any():
+            negatives[collisions] = self.rng.integers(
+                0, self.num_items, size=int(collisions.sum())
+            )
+            collisions = negatives == targets[:, None]
+        return negatives
+
 
 def span_training_examples(
     span: SpanDataset,

@@ -1,6 +1,14 @@
 """Evaluation: ranking metrics, span protocol, significance tests."""
 
-from .metrics import hit_at_k, metrics_at_k, ndcg_at_k, rank_of_target
+from .metrics import (
+    hit_at_k,
+    metrics_at_k,
+    metrics_from_ranks,
+    ndcg_at_k,
+    rank_of_target,
+    ranks_of_targets,
+    ranks_of_user_targets,
+)
 from .evaluator import EvalResult, average_results, evaluate_span
 from .significance import paired_t_test, significantly_better
 from .forgetting import ForgettingReport, compare_forgetting, forgetting_analysis
@@ -9,7 +17,10 @@ __all__ = [
     "hit_at_k",
     "ndcg_at_k",
     "rank_of_target",
+    "ranks_of_targets",
+    "ranks_of_user_targets",
     "metrics_at_k",
+    "metrics_from_ranks",
     "EvalResult",
     "evaluate_span",
     "average_results",

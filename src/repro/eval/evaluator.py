@@ -9,12 +9,12 @@ averaged over spans ``1..T-1`` for the headline numbers (Table III).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.schema import SpanDataset
-from .metrics import metrics_at_k
+from .metrics import metrics_from_ranks, ranks_of_user_targets
 
 
 @dataclass
@@ -30,6 +30,26 @@ class EvalResult:
         return {"HR": self.hr, "NDCG": self.ndcg, "n": self.num_cases}
 
 
+def _collect_cases(
+    span: SpanDataset,
+    targets: str,
+    item_filter: Optional[Callable[[int, int], bool]],
+) -> List[Tuple[int, List[int]]]:
+    """(user, test items) pairs in span user order — the span's test set."""
+    cases: List[Tuple[int, List[int]]] = []
+    for user in span.user_ids():
+        data = span.users[user]
+        if targets == "test":
+            user_items = [data.test_item] if data.test_item is not None else []
+        else:
+            user_items = data.all_items
+        if item_filter is not None:
+            user_items = [i for i in user_items if item_filter(user, i)]
+        if user_items:
+            cases.append((user, user_items))
+    return cases
+
+
 def evaluate_span(
     score_fn: Callable[[int], np.ndarray],
     span: SpanDataset,
@@ -37,6 +57,7 @@ def evaluate_span(
     item_filter: Optional[Callable[[int, int], bool]] = None,
     keep_per_user: bool = False,
     targets: str = "test",
+    batch_score_fn: Optional[Callable[[Sequence[int]], np.ndarray]] = None,
 ) -> EvalResult:
     """Evaluate ``score_fn(user) -> catalog scores`` on a span's items.
 
@@ -55,39 +76,43 @@ def evaluate_span(
     ``item_filter(user, item) -> bool`` restricts which test cases count —
     used by the Fig. 7(a) case study to split existing vs. new items.
     Per-user metrics (``keep_per_user``) average that user's cases.
+
+    ``batch_score_fn(users) -> (U, num_items)`` is the batched fast path
+    (:meth:`IncrementalStrategy.score_users`): one call scores every user
+    with test cases, instead of one ``score_fn`` call per user.  Either
+    way, all cases' ranks and metrics are computed in one fused pass
+    (:func:`ranks_of_user_targets` / :func:`metrics_from_ranks`); both
+    paths are bit-identical to the historical per-item evaluator
+    (``tests/test_eval_batched.py``).
     """
     if targets not in ("test", "all"):
         raise ValueError(f"targets must be 'test' or 'all', got {targets!r}")
-    hits: List[float] = []
-    ndcgs: List[float] = []
+    cases = _collect_cases(span, targets, item_filter)
     per_user: Dict[int, tuple] = {}
-    for user in span.user_ids():
-        data = span.users[user]
-        if targets == "test":
-            user_items = [data.test_item] if data.test_item is not None else []
-        else:
-            user_items = data.all_items
-        if item_filter is not None:
-            user_items = [i for i in user_items if item_filter(user, i)]
-        if not user_items:
-            continue
-        scores = score_fn(user)
-        user_hits: List[float] = []
-        user_ndcgs: List[float] = []
-        for item in user_items:
-            hit, ndcg = metrics_at_k(scores, item, k=k)
-            user_hits.append(hit)
-            user_ndcgs.append(ndcg)
-        hits.extend(user_hits)
-        ndcgs.extend(user_ndcgs)
-        if keep_per_user:
-            per_user[user] = (float(np.mean(user_hits)), float(np.mean(user_ndcgs)))
-    if not hits:
+    if not cases:
         return EvalResult(hr=0.0, ndcg=0.0, num_cases=0, per_user=per_user)
+    if batch_score_fn is not None:
+        score_matrix = np.asarray(batch_score_fn([u for u, _ in cases]))
+    else:
+        score_matrix = np.stack([score_fn(user) for user, _ in cases])
+    counts = [len(items) for _, items in cases]
+    case_rows = np.repeat(np.arange(len(cases)), counts)
+    case_items = np.concatenate(
+        [np.asarray(items, dtype=np.int64) for _, items in cases])
+    ranks = ranks_of_user_targets(score_matrix, case_rows, case_items)
+    all_hits, all_ndcgs = metrics_from_ranks(ranks, k=k)
+    if keep_per_user:
+        offset = 0
+        for (user, _), m in zip(cases, counts):
+            per_user[user] = (
+                float(np.mean(all_hits[offset:offset + m])),
+                float(np.mean(all_ndcgs[offset:offset + m])),
+            )
+            offset += m
     return EvalResult(
-        hr=float(np.mean(hits)),
-        ndcg=float(np.mean(ndcgs)),
-        num_cases=len(hits),
+        hr=float(np.mean(all_hits)),
+        ndcg=float(np.mean(all_ndcgs)),
+        num_cases=int(all_hits.shape[0]),
         per_user=per_user,
     )
 

@@ -107,6 +107,7 @@ def forgetting_analysis(
             result = evaluate_span(
                 strategy.score_user, split.spans[span_j],
                 targets=eval_targets,
+                batch_score_fn=strategy.score_users,
             )
             matrix[i, j] = result.hr
     return ForgettingReport(matrix=matrix, spans=spans)

@@ -47,3 +47,90 @@ def metrics_at_k(scores: np.ndarray, target: int, k: int = 20,
     """Convenience: ``(hit@k, ndcg@k)`` for one test instance."""
     rank = rank_of_target(scores, target, exclude=exclude)
     return hit_at_k(rank, k), ndcg_at_k(rank, k)
+
+
+#: cap on the (targets x catalog) comparison matrix a single vectorized
+#: chunk may allocate (elements); keeps peak memory bounded when ranking
+#: thousands of targets against a large catalog
+_RANK_CHUNK_ELEMENTS = 4_000_000
+
+
+@shape_contract("(N) f, (M) i, _ -> (M) i")
+def ranks_of_targets(scores: np.ndarray, targets: Sequence[int],
+                     exclude: Optional[Sequence[int]] = None) -> np.ndarray:
+    """Vectorized :func:`rank_of_target` for many targets of one user.
+
+    Returns the (M,) 0-based ranks of ``targets`` under descending
+    ``scores``, agreeing *exactly* with per-item :func:`rank_of_target`
+    — including the pessimistic tie-breaking (equal-scored items count
+    as ranked above the target) and the ``exclude`` mask semantics
+    (excluded items are pushed below everything; a target that is itself
+    excluded is not double-subtracted).  Property-tested against the
+    scalar implementation in ``tests/test_eval_batched.py``.
+    """
+    scores = np.asarray(scores)
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    ex = None
+    if exclude is not None:
+        ex = np.unique(np.asarray(list(exclude), dtype=np.int64))
+        if ex.size == 0:
+            ex = None
+    n = max(1, scores.shape[0])
+    step = max(1, _RANK_CHUNK_ELEMENTS // n)
+    ranks = np.empty(targets.shape[0], dtype=np.int64)
+    for lo in range(0, targets.shape[0], step):
+        chunk = targets[lo:lo + step]
+        t = scores[chunk][:, None]                     # (m, 1)
+        counts = (scores[None, :] >= t).sum(axis=1)    # everything >= target
+        if ex is not None:
+            counts -= (scores[ex][None, :] >= t).sum(axis=1)
+            counts -= (~np.isin(chunk, ex)).astype(np.int64)  # self, if counted
+        else:
+            counts -= 1                                # the target itself
+        ranks[lo:lo + step] = counts
+    return ranks
+
+
+@shape_contract("(U, N) f, (M) i, (M) i -> (M) i")
+def ranks_of_user_targets(score_matrix: np.ndarray, case_users: np.ndarray,
+                          case_items: np.ndarray) -> np.ndarray:
+    """Ranks for a flat list of (user row, target item) test cases.
+
+    ``score_matrix`` holds one catalog-score row per user;
+    ``case_users[j]`` indexes the row and ``case_items[j]`` the target
+    of case ``j``.  Each case's rank is exactly
+    ``rank_of_target(score_matrix[case_users[j]], case_items[j])`` (no
+    exclusions) — the same ``>=`` comparisons and integer count, fused
+    across *all* users' cases in one chunked pass instead of a Python
+    call per user.  This is the whole-span fast path behind
+    :func:`repro.eval.evaluate_span`.
+    """
+    case_users = np.asarray(case_users, dtype=np.int64)
+    case_items = np.asarray(case_items, dtype=np.int64)
+    if case_users.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    n = max(1, score_matrix.shape[1])
+    step = max(1, _RANK_CHUNK_ELEMENTS // n)
+    ranks = np.empty(case_users.shape[0], dtype=np.int64)
+    for lo in range(0, case_users.shape[0], step):
+        users = case_users[lo:lo + step]
+        rows = score_matrix[users]                     # (m, N)
+        t = rows[np.arange(users.shape[0]), case_items[lo:lo + step]]
+        ranks[lo:lo + step] = (rows >= t[:, None]).sum(axis=1) - 1
+    return ranks
+
+
+@shape_contract("(M) i, _ -> (M) f, (M) f")
+def metrics_from_ranks(ranks: np.ndarray, k: int = 20) -> tuple:
+    """Vectorized ``(hits, ndcgs)`` for an array of 0-based ranks.
+
+    Elementwise identical to :func:`hit_at_k` / :func:`ndcg_at_k` — the
+    same ``1 / log2(rank + 2)`` expression, so the floats are bit-equal.
+    """
+    ranks = np.asarray(ranks)
+    hit = ranks < k
+    hits = hit.astype(np.float64)
+    ndcgs = np.where(hit, 1.0 / np.log2(ranks + 2.0), 0.0)
+    return hits, ndcgs

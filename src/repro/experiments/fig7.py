@@ -162,11 +162,14 @@ def run_fig7(
         result.item_type_hr[strategy_name] = {
             "existing": evaluate_span(strategy.score_user, eval_span,
                                       item_filter=existing_filter,
-                                      targets="all").hr,
+                                      targets="all",
+                                      batch_score_fn=strategy.score_users).hr,
             "new": evaluate_span(strategy.score_user, eval_span,
-                                 item_filter=new_filter, targets="all").hr,
+                                 item_filter=new_filter, targets="all",
+                                 batch_score_fn=strategy.score_users).hr,
             "all": evaluate_span(strategy.score_user, eval_span,
-                                 targets="all").hr,
+                                 targets="all",
+                                 batch_score_fn=strategy.score_users).hr,
         }
         if strategy_name == "IMSR":
             imsr_strategy = strategy  # type: ignore[assignment]

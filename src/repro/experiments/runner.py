@@ -239,6 +239,7 @@ def run_strategy(
         result = evaluate_span(
             strategy.score_user, split.spans[t],
             keep_per_user=keep_per_user, targets=eval_targets,
+            batch_score_fn=strategy.score_users,
         )
         if journal is not None and not (
                 np.isfinite(result.hr) and np.isfinite(result.ndcg)):
@@ -248,6 +249,7 @@ def run_strategy(
             result = evaluate_span(
                 strategy.score_user, split.spans[t],
                 keep_per_user=keep_per_user, targets=eval_targets,
+                batch_score_fn=strategy.score_users,
             )
             if not (np.isfinite(result.hr) and np.isfinite(result.ndcg)):
                 # the restored state scores non-finite too: nothing left
@@ -278,11 +280,11 @@ def run_strategy(
             )
             faults.fire("span-boundary", span=t)
 
-    # mean per-user inference time on the last evaluated span
+    # mean per-user inference time on the last evaluated span, through
+    # the batched scoring path the evaluator uses
     eval_users = split.spans[spans_to_train[-1]].user_ids()[:50]
     start = time.perf_counter()
-    for user in eval_users:
-        strategy.score_user(user)
+    strategy.score_users(eval_users)
     inference_time = (time.perf_counter() - start) / max(1, len(eval_users))
 
     return RunResult(

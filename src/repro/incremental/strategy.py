@@ -52,6 +52,20 @@ class TrainConfig:
     #: (the paper performs early stopping during training)
     early_stopping: bool = False
     patience: int = 2
+    #: users per optimizer step.  1 (default) is the paper-exact per-user
+    #: loop; >1 pads a group of users into one batched autograd forward
+    #: (see repro.models.batched_train) and takes one step per group —
+    #: same accumulated gradient to float tolerance, different RNG
+    #: consumption (negatives drawn per group, not per target)
+    users_per_batch: int = 1
+    #: update only the embedding rows touched each step (SparseAdam)
+    #: instead of dense Adam.  Documented deviation: untouched rows skip
+    #: their momentum-tail decay between touches (see docs/PERFORMANCE.md)
+    sparse_adam: bool = False
+    #: refresh user interest snapshots with one batched no-grad
+    #: extraction per span instead of per user.  Float-tolerance
+    #: equivalent, not bitwise — hence opt-in
+    batched_snapshots: bool = False
 
 
 @dataclass
@@ -153,6 +167,26 @@ class IncrementalStrategy:
         """Catalog scores for evaluation (max over stored interests)."""
         return self.model.score_all_items(self.states[user])
 
+    def score_users(self, users: Sequence[int],
+                    exact: bool = True) -> np.ndarray:
+        """Catalog scores for many users at once — the evaluator's batched
+        fast path.  The default (``exact=True``) is bit-identical to
+        stacking :meth:`score_user` calls: it issues the same per-user
+        GEMM through :func:`repro.models.score_items_batch`.
+        ``exact=False`` scores all users in one stacked GEMM —
+        float-tolerance, maximum throughput (see the perf probe).
+        Strategies that override :meth:`score_user` (MIMN, LimaRec) are
+        detected and scored through their own override."""
+        if type(self).score_user is not IncrementalStrategy.score_user:
+            return np.stack([self.score_user(u) for u in users])
+        from ..models.aggregator import score_items_batch
+
+        return score_items_batch(
+            [self.states[u].interests for u in users],
+            self.model.item_emb.weight.data,
+            exact=exact,
+        )
+
     def interest_counts(self) -> Dict[int, int]:
         return {u: s.num_interests for u, s in self.states.items()}
 
@@ -197,6 +231,10 @@ class IncrementalStrategy:
         params = list(self.model.parameters())
         involved = [self.states[p.user] for p in payloads]
         params.extend(self.model.user_parameters(involved))
+        if getattr(self.config, "sparse_adam", False):
+            from ..nn import SparseAdam
+
+            return SparseAdam(params, lr=self.config.lr)
         return Adam(params, lr=self.config.lr)
 
     def _train(
@@ -218,47 +256,33 @@ class IncrementalStrategy:
         post-processes the extracted interests in-graph (PIT projection).
         ``val_fn`` (or the config's ``early_stopping`` default, which
         scores the payloads' validation split) enables early stopping.
+
+        ``config.users_per_batch > 1`` switches to the micro-batched
+        engine: groups of users are padded into one batched forward and
+        one optimizer step per group (:mod:`repro.models.batched_train`).
+        The default of 1 runs this exact loop, bit-identical to the
+        historical behavior.
         """
         if not payloads:
             return
         opt = optimizer or self._optimizer(payloads)
+        group_size = max(1, int(getattr(self.config, "users_per_batch", 1)))
+        from ..models.batched_train import supports_batched_training
+
+        use_groups = group_size > 1 and supports_batched_training(self.model)
         order = list(payloads)
         best_val = -np.inf
         stale_epochs = 0
         for epoch in range(epochs):
             self.rng.shuffle(order)
-            for payload in order:
-                state = self.states[payload.user]
-                if epoch_hook is not None:
-                    epoch_hook(epoch, payload)
-                    opt = self._sync_optimizer(opt, state)
-                interests = self.model.compute_interests(state, payload.history)
-                if interests_hook is not None:
-                    interests = interests_hook(state, interests)
-                negatives = np.stack(
-                    [self.sampler.sample(t) for t in payload.targets]
-                )
-                loss = self.model.loss_targets(interests, payload.targets, negatives)
-                if loss_hook is not None:
-                    extra = loss_hook(state, interests, payload)
-                    if extra is not None:
-                        loss = loss + extra
-                mods = _fault_probe("train-step", step=self._fault_step,
-                                    user=payload.user)
-                self._fault_step += 1
-                if mods.get("poison_nan"):
-                    loss = loss * Tensor(float("nan"), requires_grad=False)
-                if not np.isfinite(loss.data).all():
-                    # failure containment: a non-finite loss (degenerate
-                    # negatives, exploded logits) must not poison the
-                    # parameters — skip this user's step
-                    continue
-                opt.zero_grad()
-                loss.backward()
-                clip_grad_norm(opt.params, self.config.grad_clip)
-                opt.step()
-                self.model.item_emb.zero_padding_row()
-                state.interests = interests.data.copy()
+            if use_groups:
+                for start in range(0, len(order), group_size):
+                    self._train_group(order[start:start + group_size], epoch,
+                                      opt, loss_hook, epoch_hook, interests_hook)
+            else:
+                for payload in order:
+                    self._train_user(payload, epoch, opt, loss_hook,
+                                     epoch_hook, interests_hook)
             if val_fn is not None or self.config.early_stopping:
                 score = val_fn() if val_fn is not None else (
                     self._payload_val_score(payloads))
@@ -270,29 +294,167 @@ class IncrementalStrategy:
                     if stale_epochs >= self.config.patience:
                         break
 
+    def _train_user(
+        self,
+        payload: UserPayload,
+        epoch: int,
+        opt: Adam,
+        loss_hook=None,
+        epoch_hook=None,
+        interests_hook=None,
+    ) -> None:
+        """One user's training step — the paper-exact per-user path."""
+        state = self.states[payload.user]
+        if epoch_hook is not None:
+            epoch_hook(epoch, payload)
+            opt = self._sync_optimizer(opt, state)
+        interests = self.model.compute_interests(state, payload.history)
+        if interests_hook is not None:
+            interests = interests_hook(state, interests)
+        negatives = np.stack(
+            [self.sampler.sample(t) for t in payload.targets]
+        )
+        loss = self.model.loss_targets(interests, payload.targets, negatives)
+        if loss_hook is not None:
+            extra = loss_hook(state, interests, payload)
+            if extra is not None:
+                loss = loss + extra
+        mods = _fault_probe("train-step", step=self._fault_step,
+                            user=payload.user)
+        self._fault_step += 1
+        if mods.get("poison_nan"):
+            loss = loss * Tensor(float("nan"), requires_grad=False)
+        if not np.isfinite(loss.data).all():
+            # failure containment: a non-finite loss (degenerate
+            # negatives, exploded logits) must not poison the
+            # parameters — skip this user's step
+            return
+        opt.zero_grad()
+        loss.backward()
+        clip_grad_norm(opt.params, self.config.grad_clip)
+        opt.step()
+        self.model.item_emb.zero_padding_row()
+        state.interests = interests.data.copy()
+
+    def _train_group(
+        self,
+        group: Sequence[UserPayload],
+        epoch: int,
+        opt: Adam,
+        loss_hook=None,
+        epoch_hook=None,
+        interests_hook=None,
+    ) -> None:
+        """One micro-batch: a batched forward over ``group`` and a single
+        optimizer step whose gradient is the accumulated per-user
+        gradient (sum of each user's mean-over-targets loss).
+
+        Per-user hooks keep their exact per-user semantics by operating
+        on in-graph slices of the padded interest block: epoch hooks
+        (NID expansion / PIT trimming) run for the whole group *before*
+        extraction so the capsule layout is fixed, ``interests_hook``
+        rewrites each user's slice (the slices are re-padded for the
+        loss), and ``loss_hook`` contributes per-user extra terms.  One
+        fault probe fires per optimizer step, and a non-finite group
+        loss skips the whole group's step (same containment rule as the
+        per-user path, at group granularity).
+        """
+        from ..models.batched_train import (
+            batched_compute_interests,
+            batched_loss_targets,
+            pad_interest_group,
+        )
+
+        for payload in group:
+            if epoch_hook is not None:
+                epoch_hook(epoch, payload)
+                opt = self._sync_optimizer(opt, self.states[payload.user])
+        # hooks may have expanded/trimmed states — re-read them now
+        jobs = [(self.states[p.user], p.history) for p in group]
+        interests, capsule_mask, ks = batched_compute_interests(self.model, jobs)
+        per_user: Optional[List[Tensor]] = None
+        if interests_hook is not None or loss_hook is not None:
+            per_user = [interests[b, :ks[b]] for b in range(len(group))]
+        if interests_hook is not None:
+            per_user = [interests_hook(state, t)
+                        for (state, _), t in zip(jobs, per_user)]
+            interests, capsule_mask = pad_interest_group(per_user, self.model.dim)
+        negatives = [self.sampler.sample_batch(p.targets) for p in group]
+        loss = batched_loss_targets(
+            self.model, interests, capsule_mask,
+            [p.targets for p in group], negatives,
+        )
+        if loss_hook is not None:
+            for (state, _), t, payload in zip(jobs, per_user, group):
+                extra = loss_hook(state, t, payload)
+                if extra is not None:
+                    loss = loss + extra
+        mods = _fault_probe("train-step", step=self._fault_step,
+                            user=group[0].user)
+        self._fault_step += 1
+        if mods.get("poison_nan"):
+            loss = loss * Tensor(float("nan"), requires_grad=False)
+        if not np.isfinite(loss.data).all():
+            return
+        opt.zero_grad()
+        loss.backward()
+        clip_grad_norm(opt.params, self.config.grad_clip)
+        opt.step()
+        self.model.item_emb.zero_padding_row()
+        for b, (state, _) in enumerate(jobs):
+            source = per_user[b].data if per_user is not None else (
+                interests.data[b, :ks[b]])
+            state.interests = source.copy()
+
     def _payload_val_score(self, payloads: Sequence[UserPayload]) -> float:
         """Mean HR@20 of each payload's last target against the catalog —
         the cheap validation signal used for early stopping."""
-        from ..eval.metrics import hit_at_k, rank_of_target
+        from ..eval.metrics import metrics_from_ranks, ranks_of_targets
 
-        hits = []
+        if not payloads:
+            return 0.0
         emb = self.model.item_emb.weight.data
-        for payload in payloads:
-            state = self.states[payload.user]
-            scores = (emb @ state.interests.T).max(axis=1)
-            rank = rank_of_target(scores, payload.targets[-1])
-            hits.append(hit_at_k(rank))
-        return float(np.mean(hits)) if hits else 0.0
+        hits = np.empty(len(payloads))
+        for i, payload in enumerate(payloads):
+            scores = (emb @ self.states[payload.user].interests.T).max(axis=1)
+            ranks = ranks_of_targets(scores, [payload.targets[-1]])
+            hits[i] = metrics_from_ranks(ranks)[0][0]
+        return float(np.mean(hits))
 
     def _sync_optimizer(self, opt: Adam, state: UserState) -> Adam:
-        """Ensure a user's (possibly re-created) SA weights are optimized."""
-        if state.sa_weights is not None and state.sa_weights not in opt.params:
+        """Ensure a user's (possibly re-created) SA weights are optimized.
+
+        Membership must be an explicit *identity* test.  The previous
+        ``sa_weights not in opt.params`` only worked because ``Tensor``
+        happens not to define ``__eq__`` — an elementwise ``__eq__``
+        (the numpy/torch convention) would make ``in`` raise or, worse,
+        silently match a *different* user's equal-valued weights — and
+        it scanned the whole parameter list per call.
+        ``Optimizer.has_param`` keeps an ``id()`` set for exactly this
+        check (regression-tested in ``tests/test_sparse_adam.py``)."""
+        if state.sa_weights is not None and not opt.has_param(state.sa_weights):
             opt.add_param(state.sa_weights)
         return opt
 
     def _refresh_snapshots(self, span: SpanDataset,
                            interests_hook: Optional[Callable] = None) -> None:
-        """Re-extract and store interests from each user's span items."""
+        """Re-extract and store interests from each user's span items.
+
+        With ``config.batched_snapshots`` (opt-in; float-tolerance, not
+        bitwise), the whole span refreshes through one batched no-grad
+        extraction instead of a Python loop of per-user extractions."""
+        if getattr(self.config, "batched_snapshots", False):
+            from ..models.batched_train import (
+                batched_snapshot_interests,
+                supports_batched_training,
+            )
+
+            if supports_batched_training(self.model):
+                jobs = [(self.states[user], span.users[user].all_items)
+                        for user in span.user_ids()]
+                batched_snapshot_interests(self.model, jobs,
+                                           interests_hook=interests_hook)
+                return
         for user in span.user_ids():
             items = span.users[user].all_items
             if not items:

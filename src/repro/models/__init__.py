@@ -1,7 +1,12 @@
 """Base multi-interest sequential recommendation models."""
 
 from .base import MSRModel, UserState
-from .aggregator import aggregate_interests, attention_scores, score_items
+from .aggregator import (
+    aggregate_interests,
+    attention_scores,
+    score_items,
+    score_items_batch,
+)
 from .routing import b2i_routing, squash_np
 from .sampled_softmax import batch_sampled_softmax_loss, sampled_softmax_loss
 from .mind import MIND
@@ -9,6 +14,12 @@ from .comirec_dr import ComiRecDR
 from .comirec_sa import ComiRecSA
 from .controllable import category_diversity, greedy_controllable_selection, recommend
 from .batched import batched_extract_dr, batched_snapshot_refresh
+from .batched_train import (
+    batched_compute_interests,
+    batched_loss_targets,
+    batched_snapshot_interests,
+    supports_batched_training,
+)
 
 MODEL_REGISTRY = {
     "MIND": MIND,
@@ -35,6 +46,7 @@ __all__ = [
     "aggregate_interests",
     "attention_scores",
     "score_items",
+    "score_items_batch",
     "b2i_routing",
     "squash_np",
     "sampled_softmax_loss",
@@ -44,4 +56,8 @@ __all__ = [
     "category_diversity",
     "batched_extract_dr",
     "batched_snapshot_refresh",
+    "batched_compute_interests",
+    "batched_loss_targets",
+    "batched_snapshot_interests",
+    "supports_batched_training",
 ]

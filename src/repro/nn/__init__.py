@@ -2,7 +2,15 @@
 
 from .module import Module, Parameter
 from .layers import Embedding, Linear
-from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .optim import (
+    SGD,
+    Adam,
+    Optimizer,
+    SparseAdam,
+    clip_grad_norm,
+    enable_row_tracking,
+    touched_rows,
+)
 from . import init
 
 __all__ = [
@@ -12,7 +20,10 @@ __all__ = [
     "Linear",
     "SGD",
     "Adam",
+    "SparseAdam",
     "Optimizer",
     "clip_grad_norm",
+    "enable_row_tracking",
+    "touched_rows",
     "init",
 ]

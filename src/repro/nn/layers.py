@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, is_grad_enabled
 from ..contracts import shape_contract
 from . import init
 from .module import Module, Parameter
@@ -53,10 +53,18 @@ class Embedding(Module):
         if padding_idx is not None:
             table[padding_idx] = 0.0
         self.weight = Parameter(table)
+        # Row-sparse hint: every gradient into this table is a scatter-add
+        # over looked-up rows, so SparseAdam can arm per-row tracking
+        # (repro.nn.optim.enable_row_tracking) and update only those rows.
+        self.weight.row_sparse = True
+        self.weight._touched_rows = None
 
     @shape_contract("(...I) i -> (...I, D) f")
     def forward(self, indices: np.ndarray) -> Tensor:
-        return self.weight.gather_rows(np.asarray(indices, dtype=np.int64))
+        idx = np.asarray(indices, dtype=np.int64)
+        if self.weight._touched_rows is not None and is_grad_enabled():
+            self.weight._touched_rows.append(idx.reshape(-1))
+        return self.weight.gather_rows(idx)
 
     def zero_padding_row(self) -> None:
         """Re-zero the padding row (call after an optimizer step)."""

@@ -1,8 +1,19 @@
-"""Optimizers: SGD and Adam (Kingma & Ba, 2015 — the paper's choice)."""
+"""Optimizers: SGD, Adam (Kingma & Ba, 2015 — the paper's choice), and a
+sparse-row Adam for embedding tables.
+
+Dense Adam pays O(rows * d) moment updates per step even when a step's
+gradient touches a handful of embedding rows — which is exactly the
+per-user training regime of this paper (one user's history, targets and
+sampled negatives per step).  :class:`SparseAdam` updates only the rows
+the step actually touched, catching each row's first/second moments up
+with a closed-form decay for the steps it sat out.  See
+``docs/PERFORMANCE.md`` for the (documented, tested) deviation from
+dense Adam semantics.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -16,6 +27,7 @@ class Optimizer:
         self.params: List[Parameter] = list(params)
         if not self.params:
             raise ValueError("optimizer received no parameters")
+        self._param_ids = {id(p) for p in self.params}
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -27,6 +39,17 @@ class Optimizer:
     def add_param(self, param: Parameter) -> None:
         """Register a parameter created mid-training (IMSR interest expansion)."""
         self.params.append(param)
+        self._param_ids.add(id(param))
+
+    def has_param(self, param: Parameter) -> bool:
+        """O(1) identity membership test.
+
+        ``param in self.params`` would fall back to ``Tensor.__eq__``
+        resolution and scan the whole list — O(params) per call, and
+        fragile should ``Tensor`` ever grow elementwise equality.  The
+        training loop asks this once per user step, so it must be cheap.
+        """
+        return id(param) in self._param_ids
 
 
 class SGD(Optimizer):
@@ -83,24 +106,162 @@ class Adam(Optimizer):
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
-            grad = p.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            self._steps[i] += 1
-            t = self._steps[i]
-            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad * grad
-            m_hat = self._m[i] / (1 - self.beta1 ** t)
-            v_hat = self._v[i] / (1 - self.beta2 ** t)
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self._dense_update(i, p)
+
+    def _dense_update(self, i: int, p: Parameter) -> None:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        self._steps[i] += 1
+        t = self._steps[i]
+        self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+        self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad * grad
+        m_hat = self._m[i] / (1 - self.beta1 ** t)
+        v_hat = self._v[i] / (1 - self.beta2 ** t)
+        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class SparseAdam(Adam):
+    """Adam with lazy row-wise updates for row-sparse parameters.
+
+    A parameter qualifies for the sparse path when it advertises the rows
+    its gradient lives in (``param.touched_rows()`` — :class:`Embedding`
+    weights record every forward lookup).  For those parameters a step
+
+    1. decays the touched rows' stale first/second moments in closed form
+       — ``m *= beta1**k``, ``v *= beta2**k`` for the ``k`` steps the row
+       sat out (dense Adam applies that decay one step at a time);
+    2. applies the ordinary Adam update to the touched rows only, with
+       bias correction from the parameter's global step count.
+
+    Deviation from dense Adam (documented in ``docs/PERFORMANCE.md``):
+    dense Adam also *moves* an untouched row while its stale momentum
+    decays toward zero ("momentum tail"); the lazy path skips that drift
+    and leaves untouched rows frozen.  The two coincide exactly when
+    every row is touched on every step, and agree within tolerance on
+    real training runs (``tests/test_sparse_adam.py``).
+
+    Parameters without row information fall back to the dense update,
+    so a mixed parameter list (embedding table + dense transform + user
+    attention weights) needs no special casing.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.001,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr=lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay)
+        #: param index -> (rows,) step number at which each row was last
+        #: updated; lazily created on the first sparse step
+        self._last_step: Dict[int, np.ndarray] = {}
+        for p in self.params:
+            enable_row_tracking(p)
+
+    def add_param(self, param: Parameter) -> None:
+        super().add_param(param)
+        enable_row_tracking(param)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            rows = touched_rows(p)
+            if rows is None or p.data.ndim < 1:
+                self._dense_update(i, p)
+                continue
+            self._sparse_update(i, p, rows)
+            p._touched_rows = []  # consumed: next step starts a fresh recording
+
+    def _sparse_update(self, i: int, p: Parameter, rows: np.ndarray) -> None:
+        self._steps[i] += 1
+        t = self._steps[i]
+        if rows.size == 0:
+            return
+        last = self._last_step.get(i)
+        if last is None:
+            last = np.zeros(p.data.shape[0], dtype=np.int64)
+            self._last_step[i] = last
+
+        grad = p.grad[rows]
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data[rows]
+
+        # closed-form catch-up for the steps each row sat out
+        stale = (t - 1) - last[rows]
+        if stale.any():
+            shape = (-1,) + (1,) * (p.data.ndim - 1)
+            self._m[i][rows] *= (self.beta1 ** stale).reshape(shape)
+            self._v[i][rows] *= (self.beta2 ** stale).reshape(shape)
+
+        m = self.beta1 * self._m[i][rows] + (1 - self.beta1) * grad
+        v = self.beta2 * self._v[i][rows] + (1 - self.beta2) * grad * grad
+        self._m[i][rows] = m
+        self._v[i][rows] = v
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        p.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        last[rows] = t
+
+
+def enable_row_tracking(param: Parameter) -> None:
+    """Arm row-recording on a row-sparse parameter.
+
+    Only parameters that advertise ``row_sparse = True`` (embedding
+    tables — see :class:`repro.nn.layers.Embedding`) are armed; tracking
+    is opt-in so the recordings cannot accumulate unbounded under
+    optimizers that never consume them.
+    """
+    if getattr(param, "row_sparse", False) and \
+            getattr(param, "_touched_rows", None) is None:
+        param._touched_rows = []
+
+
+def touched_rows(param: Parameter) -> Optional[np.ndarray]:
+    """Sorted unique row indices ``param``'s gradient lives in, or None.
+
+    Row-sparse parameters (embedding tables) record every row their
+    forward pass gathers while tracking is armed (see
+    :func:`enable_row_tracking`); anything else returns None and takes
+    the dense path.  An empty recording alongside a nonzero gradient
+    also returns None — the gradient then came from an untracked op, and
+    a sparse update would silently drop it.
+    """
+    recorder = getattr(param, "_touched_rows", None)
+    if recorder is None:
+        return None
+    if not recorder:
+        if param.grad is not None and param.grad.any():
+            return None
+        return np.empty(0, np.int64)
+    return np.unique(np.concatenate([np.asarray(r).reshape(-1) for r in recorder]))
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
-    """Global-norm gradient clipping; returns the pre-clip norm."""
+    """Global-norm gradient clipping; returns the pre-clip norm.
+
+    Row-sparse parameters (see :func:`touched_rows`) contribute only
+    their touched rows to the norm — the remaining rows hold exact
+    zeros, so the result is identical while skipping the O(rows * d)
+    scan and scale of the full table.
+    """
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total_sq = 0.0
+    sparse: List[tuple] = []
+    for p in params:
+        rows = touched_rows(p)
+        if rows is not None and p.data.ndim >= 1:
+            sub = p.grad[rows]
+            total_sq += float((sub ** 2).sum())
+            sparse.append((p, rows))
+        else:
+            total_sq += float((p.grad ** 2).sum())
+            sparse.append((p, None))
+    total = float(np.sqrt(total_sq))
     if total > max_norm and total > 0:
         scale = max_norm / total
-        for p in params:
-            p.grad = p.grad * scale
+        for p, rows in sparse:
+            if rows is None:
+                p.grad = p.grad * scale
+            else:
+                p.grad[rows] *= scale
     return total

@@ -4,6 +4,7 @@
 Usage:  python benchmarks/summarize.py bench_output.txt
             [--lint lint.json] [--contracts src]
             [--robustness robustness.json] [--perf BENCH_perf.json]
+            [--obs BENCH_obs.json]
 
 Parses the ``===== <title> =====`` sections and the ``N/M shape checks
 hold`` lines the bench harness prints, and emits the markdown summary
@@ -15,7 +16,9 @@ functions / total public functions) is appended as well; with
 ``--robustness``, the checkpoint/resume latency report emitted by
 ``benchmarks/robustness_probe.py`` is folded in as a row group; with
 ``--perf``, the batched-engine speedups emitted by
-``benchmarks/perf_probe.py`` are folded in the same way.
+``benchmarks/perf_probe.py`` are folded in the same way; with
+``--obs``, the instrumentation-overhead report emitted by
+``benchmarks/obs_probe.py`` is folded in as well.
 """
 
 from __future__ import annotations
@@ -147,11 +150,31 @@ def parse_perf(text: str) -> List[Tuple[str, str]]:
     return rows
 
 
+def parse_obs(text: str) -> List[Tuple[str, str]]:
+    """Turn an ``obs_probe.py`` JSON report into table rows."""
+    payload = json.loads(text)
+    if payload.get("tool") != "repro.obs":
+        raise ValueError(
+            f"not an obs report (tool={payload.get('tool')!r})")
+    rows = [
+        ("disabled probes",
+         f"{payload.get('disabled_probe_ns', 0):.0f} ns/call, "
+         f"{payload.get('disabled_overhead_pct', 0):.3f}% of run "
+         f"(budget {payload.get('budget_pct', 0):.0f}%)"),
+        ("traced run",
+         f"{payload.get('traced_overhead_pct', 0):+.1f}% wall clock "
+         f"({payload.get('events_written', 0)} events, "
+         f"{payload.get('metric_updates', 0)} metric updates)"),
+    ]
+    return rows
+
+
 def to_markdown(sections: List[Tuple[str, int, int]],
                 lint: Optional[Tuple[str, str]] = None,
                 coverage: Optional[List[Tuple[str, int, int]]] = None,
                 robustness: Optional[List[Tuple[str, str]]] = None,
-                perf: Optional[List[Tuple[str, str]]] = None) -> str:
+                perf: Optional[List[Tuple[str, str]]] = None,
+                obs: Optional[List[Tuple[str, str]]] = None) -> str:
     lines = ["| experiment | shape checks |", "|---|---|"]
     passed_total = checks_total = 0
     for title, passed, total in sections:
@@ -176,6 +199,9 @@ def to_markdown(sections: List[Tuple[str, int, int]],
     if perf:
         for label, cell in perf:
             lines.append(f"| perf: {label} | {cell} |")
+    if obs:
+        for label, cell in obs:
+            lines.append(f"| obs: {label} | {cell} |")
     return "\n".join(lines)
 
 
@@ -198,8 +224,9 @@ def main(argv: List[str]) -> int:
     contracts_root = _take_flag(args, "--contracts")
     robustness_path = _take_flag(args, "--robustness")
     perf_path = _take_flag(args, "--perf")
+    obs_path = _take_flag(args, "--obs")
     if (lint_path == "" or contracts_root == "" or robustness_path == ""
-            or perf_path == "" or len(args) != 1):
+            or perf_path == "" or obs_path == "" or len(args) != 1):
         print(__doc__)
         return 2
     text = Path(args[0]).read_text()
@@ -238,8 +265,16 @@ def main(argv: List[str]) -> int:
             print(f"error: could not read perf report {perf_path}: {exc}",
                   file=sys.stderr)
             return 2
+    obs = None
+    if obs_path is not None:
+        try:
+            obs = parse_obs(Path(obs_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: could not read obs report {obs_path}: {exc}",
+                  file=sys.stderr)
+            return 2
     print(to_markdown(sections, lint=lint, coverage=coverage,
-                      robustness=robustness, perf=perf))
+                      robustness=robustness, perf=perf, obs=obs))
     return 0
 
 

@@ -17,11 +17,13 @@ Layered public API:
 * :mod:`repro.persistence` — crash-safe journaled checkpoints (atomic
   writes, SHA-256 manifests, resume);
 * :mod:`repro.faults` — seeded, deterministic fault injection proving
-  the crash-safety properties.
+  the crash-safety properties;
+* :mod:`repro.obs` — structured tracing, metrics, and decision telemetry
+  (hierarchical spans, JSONL traces, ``repro trace summarize``).
 """
 
 from . import analysis, autograd, data, eval, experiments, incremental, lifelong, models, nn
-from . import faults, persistence
+from . import faults, obs, persistence
 
 __version__ = "1.0.0"
 
@@ -37,5 +39,6 @@ __all__ = [
     "experiments",
     "persistence",
     "faults",
+    "obs",
     "__version__",
 ]

@@ -20,6 +20,10 @@ Commands
     Run the repository's static-analysis rules (:mod:`repro.analysis`).
 ``contracts list``
     Show every registered ``@shape_contract`` (:mod:`repro.contracts`).
+``trace summarize DIR``
+    Render the spans, decision events, and metrics of a trace written
+    with ``run --trace-dir`` (:mod:`repro.obs`); ``--json`` emits the
+    raw summary structure instead.
 """
 
 from __future__ import annotations
@@ -40,6 +44,9 @@ from .experiments import (
 )
 from .incremental import STRATEGY_REGISTRY
 from .models import MODEL_REGISTRY
+from .obs.log import configure_logging, get_logger
+
+logger = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--resume", action="store_true",
                        help="continue an interrupted run from the last "
                             "good span in --checkpoint-dir")
+    p_run.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="record spans, decision events, and metrics "
+                            "to DIR/trace.jsonl (repro.obs)")
 
     p_exp = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -109,6 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
                                                required=True)
     contracts_sub.add_parser("list", help="print every registered contract")
 
+    p_trace = sub.add_parser("trace", help="inspect an observability trace")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="render a trace directory's spans/events/metrics")
+    p_summarize.add_argument("directory",
+                             help="directory holding trace.jsonl (or the "
+                                  "file itself)")
+    p_summarize.add_argument("--json", action="store_true",
+                             help="emit the raw summary structure as JSON")
+
     return parser
 
 
@@ -128,6 +148,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    configure_logging()
     if args.resume and args.checkpoint_dir is None:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
@@ -152,7 +173,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     result = run_strategy(strategy, split, args.dataset, args.model,
                           checkpoint_dir=args.checkpoint_dir,
-                          resume=args.resume)
+                          resume=args.resume,
+                          trace_dir=args.trace_dir)
     rows = [
         {"span": t + 1, "HR@20": r.hr, "NDCG@20": r.ndcg,
          "cases": r.num_cases, "mean K": result.interest_counts[t]}
@@ -161,12 +183,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(format_table(rows))
     print(f"average: HR@20={result.hr:.4f}  NDCG@20={result.ndcg:.4f}  "
           f"inference={result.inference_time * 1000:.2f} ms/user")
+    # diagnostics go through the repro logger (stderr), not stdout, so
+    # result tables stay machine-parseable and incidents are filterable
     if result.resumed_spans:
-        print(f"resumed: spans {result.resumed_spans} reused from "
-              f"{args.checkpoint_dir}/journal.json")
+        logger.info("resumed: spans %s reused from %s/journal.json",
+                    result.resumed_spans, args.checkpoint_dir)
     for incident in result.incidents:
-        print(f"incident: span {incident['span']} {incident['kind']} -> "
-              f"{incident['action']}", file=sys.stderr)
+        logger.warning("incident: span %s %s -> %s", incident["span"],
+                       incident["kind"], incident["action"])
+    if args.trace_dir is not None:
+        print(f"trace: {args.trace_dir}/trace.jsonl "
+              f"(inspect with `repro trace summarize {args.trace_dir}`)")
     return 0
 
 
@@ -254,6 +281,25 @@ def cmd_contracts(args: argparse.Namespace) -> int:
         f"unhandled contracts command {args.contracts_command!r}")
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import TraceError, render_summary, summarize_trace
+
+    if args.trace_command == "summarize":
+        try:
+            summary = summarize_trace(args.directory)
+        except TraceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_summary(summary))
+        return 0
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -270,6 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_lint(args)
     if args.command == "contracts":
         return cmd_contracts(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -8,12 +8,14 @@ averaged over spans ``1..T-1`` for the headline numbers (Table III).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.schema import SpanDataset
+from ..obs import trace as obs
 from .metrics import metrics_from_ranks, ranks_of_user_targets
 
 
@@ -99,8 +101,12 @@ def evaluate_span(
     case_rows = np.repeat(np.arange(len(cases)), counts)
     case_items = np.concatenate(
         [np.asarray(items, dtype=np.int64) for _, items in cases])
+    rank_start = time.perf_counter()
     ranks = ranks_of_user_targets(score_matrix, case_rows, case_items)
     all_hits, all_ndcgs = metrics_from_ranks(ranks, k=k)
+    obs.observe("eval.rank_compute_seconds",
+                time.perf_counter() - rank_start)
+    obs.counter("eval.cases", len(case_items))
     if keep_per_user:
         offset = 0
         for (user, _), m in zip(cases, counts):

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..eval import EvalResult
+from ..obs import trace as obs
 from ..persistence import atomic_write_bytes, verify_checkpoint, CheckpointError
 
 PathLike = Union[str, Path]
@@ -55,6 +56,10 @@ class SpanRecord:
     interest_mean: Optional[float] = None
     counts: Dict[int, int] = field(default_factory=dict)
     rolled_back: bool = False
+    #: wall-clock of the span's snapshot re-extraction / evaluation, so a
+    #: resumed run reports honest cumulative timings (0.0 in old journals)
+    extract_time: float = 0.0
+    eval_time: float = 0.0
 
     def eval_result(self) -> EvalResult:
         return EvalResult(
@@ -67,6 +72,8 @@ class SpanRecord:
         out = {
             "span": self.span,
             "train_time": self.train_time,
+            "extract_time": self.extract_time,
+            "eval_time": self.eval_time,
             "checkpoint": self.checkpoint,
             "rolled_back": self.rolled_back,
         }
@@ -88,6 +95,8 @@ class SpanRecord:
             train_time=float(payload["train_time"]),
             checkpoint=str(payload["checkpoint"]),
             rolled_back=bool(payload.get("rolled_back", False)),
+            extract_time=float(payload.get("extract_time", 0.0)),
+            eval_time=float(payload.get("eval_time", 0.0)),
         )
         ev = payload.get("eval")
         if ev is not None:
@@ -175,11 +184,15 @@ class SpanJournal:
                     result: Optional[EvalResult] = None,
                     interest_mean: Optional[float] = None,
                     counts: Optional[Dict[int, int]] = None,
-                    rolled_back: bool = False) -> SpanRecord:
+                    rolled_back: bool = False,
+                    extract_time: float = 0.0,
+                    eval_time: float = 0.0) -> SpanRecord:
         record = SpanRecord(
             span=span, train_time=float(train_time),
             checkpoint=self.checkpoint_path(span).name,
             rolled_back=rolled_back,
+            extract_time=float(extract_time),
+            eval_time=float(eval_time),
         )
         if result is not None:
             record.hr = result.hr
@@ -190,6 +203,9 @@ class SpanJournal:
             record.counts = dict(counts or {})
         self.spans[span] = record
         self.write()
+        obs.counter("journal.spans_committed")
+        obs.event("journal.span_committed", span_id=span,
+                  rolled_back=rolled_back, checkpoint=record.checkpoint)
         return record
 
     def record_incident(self, span: int, kind: str, detail: object,
@@ -198,6 +214,9 @@ class SpanJournal:
                     "action": action}
         self.incidents.append(incident)
         self.write()
+        obs.counter("journal.incidents")
+        obs.event("journal.incident", span_id=span, incident=kind,
+                  action=action)
         return incident
 
     # ------------------------------------------------------------------ #

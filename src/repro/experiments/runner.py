@@ -31,8 +31,12 @@ from ..data.schema import TemporalSplit
 from ..eval import EvalResult, average_results, evaluate_span
 from ..incremental import STRATEGY_REGISTRY, IncrementalStrategy, TrainConfig
 from ..models import make_model
+from ..obs import trace as obs
+from ..obs.log import get_logger
 from ..persistence import load_checkpoint, run_fingerprint, save_checkpoint
 from .journal import JournalError, SpanJournal
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -62,6 +66,12 @@ class RunResult:
     resumed_spans: List[int] = field(default_factory=list)
     #: divergence-rollback incidents recorded during the run
     incidents: List[dict] = field(default_factory=list)
+    #: per-span evaluation wall-clock (no key 0 — pretrain isn't evaluated)
+    eval_times: Dict[int, float] = field(default_factory=dict)
+    #: per-span snapshot-extraction wall-clock (0 = pretraining), the
+    #: phase ``train_times`` never covered — together the three dicts
+    #: give honest cumulative timings, resumed spans included
+    extract_times: Dict[int, float] = field(default_factory=dict)
 
     @property
     def hr(self) -> float:
@@ -155,6 +165,11 @@ def _rollback(strategy: IncrementalStrategy, journal: SpanJournal,
             f"divergence at span {span} with no restorable checkpoint "
             f"in {journal.directory}")
     load_checkpoint(strategy, journal.checkpoint_path(good))
+    obs.counter("divergence.rollbacks")
+    obs.event("divergence.rollback", span_id=span, kind=kind,
+              restored_span=good)
+    logger.warning("divergence at span %d (%s): rolled back to span %d",
+                   span, kind, good)
     journal.record_incident(
         span=span, kind=kind, detail=detail,
         action=f"rolled-back-to-span-{good}")
@@ -170,6 +185,7 @@ def run_strategy(
     eval_targets: str = "all",
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> RunResult:
     """Execute the full incremental protocol for a prepared strategy.
 
@@ -183,7 +199,42 @@ def run_strategy(
     additionally restores the last good span from that directory, reusing
     the recorded metrics of already-completed spans.  ``strategy`` must
     be freshly constructed (pre-pretraining) in both cases.
+
+    ``trace_dir`` activates :mod:`repro.obs` tracing for the run: spans,
+    decision events, and metrics land in ``trace_dir/trace.jsonl`` (see
+    ``docs/OBSERVABILITY.md``).  If a tracer is already active the run
+    joins it instead of opening a second sink; with ``resume=True`` the
+    trace file is appended to (after torn-tail recovery), so one trace
+    covers the interrupted run and its resumption.
     """
+    owns_trace = trace_dir is not None and not obs.enabled()
+    if owns_trace:
+        run_id = "-".join(
+            p for p in (dataset_name, model_name, strategy.name) if p
+        ) or "run"
+        obs.start_tracing(trace_dir, run_id=run_id, resume=resume)
+    try:
+        with obs.span("run", dataset=dataset_name, model=model_name,
+                      strategy=strategy.name):
+            return _run_protocol(
+                strategy, split, dataset_name, model_name, eval_spans,
+                keep_per_user, eval_targets, checkpoint_dir, resume)
+    finally:
+        if owns_trace:
+            obs.stop_tracing()
+
+
+def _run_protocol(
+    strategy: IncrementalStrategy,
+    split: TemporalSplit,
+    dataset_name: str,
+    model_name: str,
+    eval_spans: Optional[List[int]],
+    keep_per_user: bool,
+    eval_targets: str,
+    checkpoint_dir: Optional[Union[str, Path]],
+    resume: bool,
+) -> RunResult:
     journal: Optional[SpanJournal] = None
     restored_span: Optional[int] = None
     if checkpoint_dir is not None:
@@ -197,18 +248,28 @@ def run_strategy(
     interest_counts: List[float] = []
     counts_by_span: Dict[int, Dict[int, int]] = {}
     resumed_spans: List[int] = []
+    eval_times: Dict[int, float] = {}
 
     if restored_span is None:
-        strategy.pretrain()
+        with obs.span("pretrain"):
+            strategy.pretrain()
         if journal is not None:
             save_checkpoint(strategy, journal.checkpoint_path(0), span=0)
-            journal.record_span(0, strategy.train_times.get(0, 0.0))
+            journal.record_span(
+                0, strategy.train_times.get(0, 0.0),
+                extract_time=strategy.extract_times.get(0, 0.0))
+            obs.sync()
             faults.fire("span-boundary", span=0)
     else:
+        logger.info("resuming from span %d in %s", restored_span,
+                    journal.directory)
         load_checkpoint(strategy, journal.checkpoint_path(restored_span))
         for record in journal.spans.values():
             if record.span <= restored_span:
                 strategy.train_times[record.span] = record.train_time
+                strategy.extract_times[record.span] = record.extract_time
+                if record.span > 0:
+                    eval_times[record.span] = record.eval_time
 
     for t in spans_to_train:
         if restored_span is not None and t <= restored_span:
@@ -223,10 +284,13 @@ def run_strategy(
             counts_by_span[t] = dict(record.counts)
             interest_counts.append(float(record.interest_mean))
             resumed_spans.append(t)
+            obs.event("span.resumed", span_id=t)
             continue
 
         faults.fire("span-start", span=t)
-        strategy.train_span(t)
+        strategy.set_current_span(t)
+        with obs.span("train_span", span_id=t):
+            strategy.train_span(t)
         faults.fire("span-trained", span=t, strategy=strategy)
 
         rolled_back = False
@@ -236,21 +300,24 @@ def run_strategy(
                 _rollback(strategy, journal, t, "non-finite-state", bad[:20])
                 rolled_back = True
 
-        result = evaluate_span(
-            strategy.score_user, split.spans[t],
-            keep_per_user=keep_per_user, targets=eval_targets,
-            batch_score_fn=strategy.score_users,
-        )
-        if journal is not None and not (
-                np.isfinite(result.hr) and np.isfinite(result.ndcg)):
-            _rollback(strategy, journal, t, "non-finite-metrics",
-                      {"hr": repr(result.hr), "ndcg": repr(result.ndcg)})
-            rolled_back = True
+        eval_start = time.perf_counter()
+        with obs.span("evaluate", span_id=t):
             result = evaluate_span(
                 strategy.score_user, split.spans[t],
                 keep_per_user=keep_per_user, targets=eval_targets,
                 batch_score_fn=strategy.score_users,
             )
+        if journal is not None and not (
+                np.isfinite(result.hr) and np.isfinite(result.ndcg)):
+            _rollback(strategy, journal, t, "non-finite-metrics",
+                      {"hr": repr(result.hr), "ndcg": repr(result.ndcg)})
+            rolled_back = True
+            with obs.span("evaluate", span_id=t, after_rollback=True):
+                result = evaluate_span(
+                    strategy.score_user, split.spans[t],
+                    keep_per_user=keep_per_user, targets=eval_targets,
+                    batch_score_fn=strategy.score_users,
+                )
             if not (np.isfinite(result.hr) and np.isfinite(result.ndcg)):
                 # the restored state scores non-finite too: nothing left
                 # to roll back to — record a fatal incident rather than
@@ -265,6 +332,7 @@ def run_strategy(
                     f"back to the last good checkpoint; aborting the run "
                     f"(incident recorded in {journal.path})")
 
+        eval_times[t] = time.perf_counter() - eval_start
         per_span.append(result)
         per_user.append(result.per_user)
         counts = strategy.interest_counts()
@@ -277,7 +345,10 @@ def run_strategy(
                 t, strategy.train_times.get(t, 0.0), result,
                 interest_mean=interest_counts[-1], counts=counts,
                 rolled_back=rolled_back,
+                extract_time=strategy.extract_times.get(t, 0.0),
+                eval_time=eval_times[t],
             )
+            obs.sync()
             faults.fire("span-boundary", span=t)
 
     # mean per-user inference time on the last evaluated span, through
@@ -300,6 +371,8 @@ def run_strategy(
         counts_by_span=counts_by_span,
         resumed_spans=resumed_spans,
         incidents=list(journal.incidents) if journal is not None else [],
+        eval_times=eval_times,
+        extract_times=dict(strategy.extract_times),
     )
 
 
@@ -313,6 +386,7 @@ def run(
     strategy_kwargs: Optional[dict] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> RunResult:
     """One-call convenience: build the strategy and run the protocol."""
     config = config or default_config()
@@ -322,7 +396,7 @@ def run(
     )
     return run_strategy(
         strategy, split, dataset_name=dataset_name, model_name=model_name,
-        checkpoint_dir=checkpoint_dir, resume=resume,
+        checkpoint_dir=checkpoint_dir, resume=resume, trace_dir=trace_dir,
     )
 
 
@@ -366,6 +440,14 @@ def run_repeated(
         train_times={
             k: float(np.mean([r.train_times[k] for r in runs]))
             for k in runs[0].train_times
+        },
+        eval_times={
+            k: float(np.mean([r.eval_times[k] for r in runs]))
+            for k in runs[0].eval_times
+        },
+        extract_times={
+            k: float(np.mean([r.extract_times[k] for r in runs]))
+            for k in runs[0].extract_times
         },
         inference_time=float(np.mean([r.inference_time for r in runs])),
         interest_counts=[

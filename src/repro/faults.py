@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from .contracts import shape_contract
+from .obs import trace as obs
 
 __all__ = [
     "FaultPlan",
@@ -189,6 +190,11 @@ class FaultPlan:
                 k: v for k, v in info.items()
                 if isinstance(v, (int, float, str, bool, type(None)))
             }))
+            # telemetry before any raise, so injected crashes leave a
+            # fault.fired record explaining the torn trace behind them
+            obs.counter("faults.probe_fired")
+            obs.event("fault.fired", point=point, fault_kind=fault.kind,
+                      occurrence=occurrence, **self.log[-1][1])
             if fault.kind == "crash":
                 raise SimulatedCrash(
                     f"injected crash at {point} "

@@ -24,6 +24,7 @@ import numpy as np
 
 from ...autograd import Tensor
 from ...models.base import MSRModel, UserState
+from ...obs import trace as obs
 from ..strategy import (
     IncrementalStrategy,
     TrainConfig,
@@ -32,7 +33,7 @@ from ..strategy import (
     decode_json_state,
     encode_json_state,
 )
-from .nid import detect_new_interests, mean_puzzlement
+from .nid import mean_puzzlement
 from .pit import project_new_interests, trim_mask
 from .variants import get_retainer
 
@@ -115,23 +116,40 @@ class IMSR(IncrementalStrategy):
                 self.trim_log.setdefault(span_idx, {})[payload.user] = (
                     self.trim_log.get(span_idx, {}).get(payload.user, 0) + removed
                 )
+                obs.counter("imsr.capsules_trimmed", removed)
+                obs.event("pit.trim", user=payload.user, span_id=span_idx,
+                          epoch=epoch, removed=removed,
+                          remaining=state.num_interests)
 
         # detect new interests (Eq. 14) and expand (Algorithm 1 lines 6-11)
         if (
             self.use_nid
             and not state.expanded_this_span
             and state.num_interests + self.delta_k <= self.max_interests
-            and detect_new_interests(item_embs, state.interests, self.c1)
         ):
-            self.model.expand_user(state, self.delta_k, span=span_idx)
-            state.expanded_this_span = True
-            self.expansion_log.setdefault(span_idx, []).append(payload.user)
+            # the NID verdict is mean_puzzlement > c1 (detect_new_interests);
+            # computing the score directly lets telemetry record it
+            score = mean_puzzlement(item_embs, state.interests)
+            obs.observe("nid.puzzlement", score)
+            if score > self.c1:
+                self.model.expand_user(state, self.delta_k, span=span_idx)
+                state.expanded_this_span = True
+                self.expansion_log.setdefault(span_idx, []).append(payload.user)
+                obs.counter("imsr.capsules_added", self.delta_k)
+                obs.event("nid.expansion", user=payload.user, span_id=span_idx,
+                          epoch=epoch, puzzlement=float(score),
+                          delta_k=self.delta_k,
+                          num_interests=state.num_interests)
 
     def _pit_hook(self, state: UserState, interests: Tensor) -> Tensor:
         """In-graph PIT projection (Eq. 16) of the span's new interests."""
         if not self.use_pit or state.num_interests <= state.n_existing:
             return interests
-        return project_new_interests(interests, state.n_existing)
+        projected = project_new_interests(interests, state.n_existing)
+        if obs.enabled():
+            norms = np.linalg.norm(projected.data[state.n_existing:], axis=1)
+            obs.observe_many("pit.residual_norm", norms)
+        return projected
 
     def _retention_loss(self, state: UserState, interests: Tensor,
                         payload: UserPayload) -> Optional[Tensor]:
@@ -143,12 +161,18 @@ class IMSR(IncrementalStrategy):
             interests, state.prev_interests, target_embs,
             temperature=self.temperature,
         )
+        if obs.enabled():
+            obs.observe("eir.kd_loss", float(kd.data))
+            obs.event("eir.distill", user=payload.user,
+                      span_id=self._current_span, kd=float(kd.data),
+                      retainer=self.retainer_name)
         return kd * self.kd_weight
 
     # ------------------------------------------------------------------ #
     # Algorithm 2: the training procedure for one span
     # ------------------------------------------------------------------ #
     def train_span(self, t: int) -> float:
+        self.set_current_span(t)
         span = self.split.spans[t - 1]
         for user in span.user_ids():
             self.states[user].begin_span()

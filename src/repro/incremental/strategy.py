@@ -31,6 +31,7 @@ from ..data.schema import SpanDataset, TemporalSplit
 from ..faults import fire as _fault_probe
 from ..models.base import MSRModel, UserState
 from ..nn import Adam, clip_grad_norm
+from ..obs import trace as obs
 
 
 @dataclass
@@ -136,6 +137,12 @@ class IncrementalStrategy:
         self.states: Dict[int, UserState] = model.init_all_users(all_users)
         #: wall-clock seconds per training call, keyed by span (0 = pretrain)
         self.train_times: Dict[int, float] = {}
+        #: wall-clock seconds per snapshot re-extraction, same keying —
+        #: the "extract" half of the span that train_times never covered
+        self.extract_times: Dict[int, float] = {}
+        #: span the strategy is currently working on (timing attribution;
+        #: set by pretrain/train_span and by the experiment runner)
+        self._current_span = 0
         #: lifetime optimizer-step counter (fault-injection probe index)
         self._fault_step = 0
 
@@ -149,8 +156,13 @@ class IncrementalStrategy:
     # ------------------------------------------------------------------ #
     # public protocol
     # ------------------------------------------------------------------ #
+    def set_current_span(self, span: int) -> None:
+        """Attribute subsequent timing/telemetry to ``span`` (0 = pretrain)."""
+        self._current_span = int(span)
+
     def pretrain(self) -> float:
         """Train the base model on the pre-training window."""
+        self.set_current_span(0)
         payloads = build_payloads(self.split.pretrain, self.config)
         start = time.perf_counter()
         self._train(payloads, epochs=self.config.epochs_pretrain)
@@ -275,14 +287,18 @@ class IncrementalStrategy:
         stale_epochs = 0
         for epoch in range(epochs):
             self.rng.shuffle(order)
-            if use_groups:
-                for start in range(0, len(order), group_size):
-                    self._train_group(order[start:start + group_size], epoch,
-                                      opt, loss_hook, epoch_hook, interests_hook)
-            else:
-                for payload in order:
-                    self._train_user(payload, epoch, opt, loss_hook,
-                                     epoch_hook, interests_hook)
+            with obs.span("epoch", epoch=epoch, span_id=self._current_span,
+                          users=len(order)):
+                if use_groups:
+                    for start in range(0, len(order), group_size):
+                        group = order[start:start + group_size]
+                        with obs.span("user_batch", size=len(group)):
+                            self._train_group(group, epoch, opt, loss_hook,
+                                              epoch_hook, interests_hook)
+                else:
+                    for payload in order:
+                        self._train_user(payload, epoch, opt, loss_hook,
+                                         epoch_hook, interests_hook)
             if val_fn is not None or self.config.early_stopping:
                 score = val_fn() if val_fn is not None else (
                     self._payload_val_score(payloads))
@@ -328,7 +344,11 @@ class IncrementalStrategy:
             # failure containment: a non-finite loss (degenerate
             # negatives, exploded logits) must not poison the
             # parameters — skip this user's step
+            obs.counter("train.nonfinite_skips")
             return
+        if obs.enabled():
+            obs.counter("train.steps")
+            obs.observe("train.loss", float(loss.data))
         opt.zero_grad()
         loss.backward()
         clip_grad_norm(opt.params, self.config.grad_clip)
@@ -395,7 +415,12 @@ class IncrementalStrategy:
         if mods.get("poison_nan"):
             loss = loss * Tensor(float("nan"), requires_grad=False)
         if not np.isfinite(loss.data).all():
+            obs.counter("train.nonfinite_skips")
             return
+        if obs.enabled():
+            obs.counter("train.steps")
+            obs.observe("train.loss", float(loss.data))
+            obs.observe("batched.group_size", len(group))
         opt.zero_grad()
         loss.backward()
         clip_grad_norm(opt.params, self.config.grad_clip)
@@ -442,7 +467,20 @@ class IncrementalStrategy:
 
         With ``config.batched_snapshots`` (opt-in; float-tolerance, not
         bitwise), the whole span refreshes through one batched no-grad
-        extraction instead of a Python loop of per-user extractions."""
+        extraction instead of a Python loop of per-user extractions.
+
+        Wall-clock lands in ``extract_times[current span]`` — the
+        "extract" phase of a span that ``train_times`` never covered."""
+        start = time.perf_counter()
+        with obs.span("snapshot_refresh", span_id=self._current_span,
+                      users=len(span.user_ids())):
+            self._refresh_snapshots_impl(span, interests_hook)
+        self.extract_times[self._current_span] = (
+            self.extract_times.get(self._current_span, 0.0)
+            + (time.perf_counter() - start))
+
+    def _refresh_snapshots_impl(self, span: SpanDataset,
+                                interests_hook: Optional[Callable]) -> None:
         if getattr(self.config, "batched_snapshots", False):
             from ..models.batched_train import (
                 batched_snapshot_interests,

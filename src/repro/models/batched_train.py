@@ -39,6 +39,7 @@ import numpy as np
 from ..autograd import Tensor, concat, stack
 from ..autograd.ops import log_softmax, softmax, squash
 from ..contracts import shape_contract
+from ..obs import trace as obs
 from .base import MSRModel, UserState
 from .batched import _masked_softmax_over_items
 from .comirec_dr import ComiRecDR
@@ -123,6 +124,7 @@ def batched_compute_interests(
         raise TypeError(
             f"{type(model).__name__} has no batched training path; guard "
             f"call sites with supports_batched_training()")
+    obs.counter("batched.extract_calls")
     if model.family == "sa":
         return _extract_sa(model, jobs)
     return _extract_dr(model, jobs)
@@ -299,7 +301,7 @@ def batched_snapshot_interests(
     jobs = [(state, seq) for state, seq in jobs if len(seq) > 0]
     if not jobs:
         return
-    with no_grad():
+    with obs.span("batched_snapshot", users=len(jobs)), no_grad():
         interests, _, ks = batched_compute_interests(model, jobs)
         for b, (state, _) in enumerate(jobs):
             per_user = interests[b, :ks[b]]

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..obs import trace as obs
 from .module import Parameter
 
 
@@ -175,6 +176,7 @@ class SparseAdam(Adam):
     def _sparse_update(self, i: int, p: Parameter, rows: np.ndarray) -> None:
         self._steps[i] += 1
         t = self._steps[i]
+        obs.observe("sparse_adam.rows_touched", rows.size)
         if rows.size == 0:
             return
         last = self._last_step.get(i)

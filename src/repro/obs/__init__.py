@@ -1,0 +1,93 @@
+"""`repro.obs` — structured tracing, metrics, and decision telemetry.
+
+Three pillars, all zero-dependency and off by default:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer with a
+  crash-tolerant JSONL sink and module-level probe functions whose
+  disabled cost is one attribute load and a ``None`` check;
+* :mod:`repro.obs.metrics` — Prometheus-style counters / gauges /
+  histograms with labels, snapshotted into the trace on close;
+* :mod:`repro.obs.log` — ``logging``-backed diagnostics that replace
+  bare prints and mirror into the active trace.
+
+:mod:`repro.obs.summary` reads traces back: tolerant parsing,
+deterministic fingerprinting, and the aggregation behind
+``repro trace summarize``.
+"""
+
+from .log import ROOT_LOGGER, TraceLogHandler, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_counts,
+    is_timing_metric,
+)
+from .summary import (
+    read_trace,
+    render_summary,
+    summarize_trace,
+    trace_fingerprint,
+)
+from .trace import (
+    META_NAME,
+    METRICS_NAME,
+    TIMING_KEYS,
+    TRACE_NAME,
+    TraceError,
+    Tracer,
+    counter,
+    current_tracer,
+    enabled,
+    event,
+    gauge,
+    observe,
+    observe_many,
+    span,
+    start_tracing,
+    stop_tracing,
+    sync,
+    tracing,
+)
+
+__all__ = [
+    # logging
+    "ROOT_LOGGER",
+    "get_logger",
+    "configure_logging",
+    "TraceLogHandler",
+    # metrics
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bucket_counts",
+    "is_timing_metric",
+    # tracing
+    "TRACE_NAME",
+    "META_NAME",
+    "METRICS_NAME",
+    "TIMING_KEYS",
+    "TraceError",
+    "Tracer",
+    "current_tracer",
+    "enabled",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    "span",
+    "event",
+    "counter",
+    "gauge",
+    "observe",
+    "observe_many",
+    "sync",
+    # reading traces back
+    "read_trace",
+    "trace_fingerprint",
+    "summarize_trace",
+    "render_summary",
+]

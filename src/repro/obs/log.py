@@ -1,0 +1,108 @@
+"""Structured logging for the incremental-training stack.
+
+Every module that used to ``print(...)`` its diagnostics (resume notices,
+divergence incidents, skipped-user warnings) routes them through a
+``logging`` logger obtained here instead, so operators can filter,
+capture, or silence them like any production log stream.  The loggers
+all live under the ``repro`` namespace — ``configure_logging()`` attaches
+one stream handler to that root, and ``get_logger(__name__)`` inside the
+package yields the conventional per-module child loggers.
+
+When a trace is active (:mod:`repro.obs.trace`), :class:`TraceLogHandler`
+can additionally mirror log records into the trace file as ``log``
+events, so incidents end up next to the decision telemetry they explain.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+__all__ = ["ROOT_LOGGER", "get_logger", "configure_logging",
+           "TraceLogHandler"]
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``name`` is typically ``__name__`` of the calling module (already
+    ``repro.*`` inside the package); any other name is nested under the
+    ``repro`` root so one handler/level controls the whole stack.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: int = logging.INFO,
+                      stream=None,
+                      fmt: str = _FORMAT) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: calling it again only adjusts the level, so libraries and
+    the CLI can both call it without duplicating output.  ``stream``
+    defaults to stderr — diagnostics must not corrupt stdout result
+    tables.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    has_stream = any(isinstance(h, logging.StreamHandler)
+                     and not isinstance(h, TraceLogHandler)
+                     for h in root.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(fmt))
+        root.addHandler(handler)
+    return root
+
+
+class TraceLogHandler(logging.Handler):
+    """Mirror ``repro.*`` log records into the active trace as events.
+
+    Installed by :func:`repro.obs.trace.start_tracing` and removed by
+    ``stop_tracing``; a record emitted while no trace is active is
+    silently dropped (the stream handler still sees it).
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        from . import trace
+
+        tracer = trace.current_tracer()
+        if tracer is None:
+            return
+        try:
+            tracer.event(
+                "log",
+                level=record.levelname,
+                logger=record.name,
+                message=record.getMessage(),
+            )
+        except (OSError, ValueError):  # never let telemetry kill the run
+            self.handleError(record)
+
+
+def attach_trace_handler() -> Optional[TraceLogHandler]:
+    """Install one :class:`TraceLogHandler` on the ``repro`` root.
+
+    Returns the handler (new or existing) so callers can detach it.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in root.handlers:
+        if isinstance(handler, TraceLogHandler):
+            return handler
+    handler = TraceLogHandler()
+    root.addHandler(handler)
+    return handler
+
+
+def detach_trace_handler() -> None:
+    """Remove any :class:`TraceLogHandler` from the ``repro`` root."""
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if isinstance(handler, TraceLogHandler):
+            root.removeHandler(handler)

@@ -1,0 +1,234 @@
+"""Metrics registry: counters, gauges, and histograms with labels.
+
+The registry is deliberately tiny and dependency-free — a dict of metric
+objects keyed by ``(name, sorted labels)`` — but follows the shape of
+production metric systems (Prometheus-style types and label sets) so the
+numbers it produces are directly exportable.
+
+Determinism contract
+--------------------
+Metric *content* must be a pure function of the run's data so a trace
+written with telemetry enabled is reproducible.  Wall-clock measurements
+are the one exception; by convention every timing metric's name ends in
+``_seconds`` (or ``_ms``), and :func:`is_timing_metric` lets the trace
+fingerprint exclude exactly those (see
+:func:`repro.obs.summary.trace_fingerprint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..contracts import shape_contract
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bucket_counts",
+    "is_timing_metric",
+    "metric_key",
+]
+
+#: default histogram bucket upper edges (geometric; overflow bucket is
+#: implicit).  Chosen to cover loss values, norms, and row counts alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0, 1000.0,
+)
+
+_TIMING_SUFFIXES = ("_seconds", "_ms")
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def is_timing_metric(name: str) -> bool:
+    """Whether a metric name denotes a wall-clock measurement.
+
+    Timing metrics are carried in the trace like everything else but are
+    excluded from the deterministic trace fingerprint.
+    """
+    return name.endswith(_TIMING_SUFFIXES)
+
+
+def metric_key(name: str, labels: Dict[str, object]) -> Tuple[str, LabelItems]:
+    """Canonical registry key: name plus sorted, stringified labels."""
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@shape_contract("(N) f, (E) f -> (B) i")
+def bucket_counts(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Histogram bucketing: per-bucket counts for ``values``.
+
+    Bucket ``i < E`` counts values ``v`` with ``edges[i-1] < v <=
+    edges[i]`` (first bucket: ``v <= edges[0]``); the final bucket
+    (``B = E + 1`` total) counts the overflow ``v > edges[-1]``.
+    ``edges`` must be strictly increasing.
+    """
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or edges.size == 0:
+        raise ValueError("edges must be a non-empty 1-D array")
+    if edges.size > 1 and not np.all(np.diff(edges) > 0):
+        raise ValueError("edges must be strictly increasing")
+    idx = np.searchsorted(edges, np.asarray(values, dtype=np.float64),
+                          side="left")
+    return np.bincount(idx, minlength=edges.size + 1).astype(np.int64)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    labels: LabelItems = ()
+    value: float = 0.0
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-written value (sizes, levels, configuration)."""
+
+    name: str
+    labels: LabelItems = ()
+    value: Optional[float] = None
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Bucketed distribution with running count/sum/min/max.
+
+    Raw observations are *not* retained — the memory footprint is fixed
+    regardless of how many values stream through.
+    """
+
+    name: str
+    labels: LabelItems = ()
+    edges: Tuple[float, ...] = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = int(np.searchsorted(np.asarray(self.edges), value, side="left"))
+        self.counts[idx] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            return
+        per_bucket = bucket_counts(arr, np.asarray(self.edges,
+                                                   dtype=np.float64))
+        for i, n in enumerate(per_bucket):
+            self.counts[i] += int(n)
+        self.count += int(arr.size)
+        self.total += float(arr.sum())
+        lo, hi = float(arr.min()), float(arr.max())
+        self.min = lo if self.min is None else min(self.min, lo)
+        self.max = hi if self.max is None else max(self.max, hi)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get store for every metric a run produces."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+        #: total metric updates routed through this registry (used by the
+        #: overhead probe to count instrument firings)
+        self.updates = 0
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name=name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        self.updates += 1
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        self.updates += 1
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, edges: Optional[Tuple[float, ...]] = None,
+                  **labels) -> Histogram:
+        self.updates += 1
+        if edges is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, edges=tuple(edges))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self, include_timings: bool = True) -> Dict[str, Dict]:
+        """Deterministically ordered ``{rendered name: state}`` mapping.
+
+        ``include_timings=False`` drops every metric whose name
+        :func:`is_timing_metric` — the view hashed into the trace
+        fingerprint.
+        """
+        out: Dict[str, Dict] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            if not include_timings and is_timing_metric(name):
+                continue
+            rendered = name
+            if labels:
+                rendered += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            out[rendered] = metric.snapshot()
+        return out

@@ -1,0 +1,260 @@
+"""Read, fingerprint, and summarize JSONL traces.
+
+The counterpart of :mod:`repro.obs.trace`: given a trace directory (or
+the ``trace.jsonl`` file directly), :func:`read_trace` parses the event
+stream tolerantly (a torn final line from a crash is skipped, not
+fatal), :func:`trace_fingerprint` reproduces the tracer's deterministic
+content hash, and :func:`summarize_trace` / :func:`render_summary` power
+``repro trace summarize <dir>``.
+
+Every question the acceptance criteria ask — which users NID expanded,
+what PIT trimmed, every EIR distillation value, each fault-probe firing
+and rollback incident — is answered from the parsed events alone; no
+strategy state is needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .trace import TRACE_NAME, TraceError, fingerprint_view
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "read_trace",
+    "trace_fingerprint",
+    "decision_events",
+    "span_rollup",
+    "summarize_trace",
+    "render_summary",
+]
+
+
+def _trace_path(target: PathLike) -> Path:
+    path = Path(target)
+    if path.is_dir():
+        path = path / TRACE_NAME
+    return path
+
+
+def read_trace(target: PathLike) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a trace file (or its directory) into ``(events, skipped)``.
+
+    ``skipped`` counts unparseable lines — at most the torn final line of
+    a crashed run under normal operation; more indicates corruption.
+    """
+    path = _trace_path(target)
+    if not path.exists():
+        raise TraceError(f"no trace at {path}")
+    events: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "rb") as fh:
+        for raw in fh:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+            else:
+                skipped += 1
+    return events, skipped
+
+
+def trace_fingerprint(events: List[Dict[str, Any]]) -> str:
+    """SHA-256 over the events with timing fields stripped.
+
+    Matches :meth:`repro.obs.trace.Tracer.fingerprint` for the same
+    event stream: the reserved keys ``wall``/``dur_s`` are removed, and
+    within a ``metrics`` record every timing metric
+    (:func:`repro.obs.metrics.is_timing_metric`) is dropped.
+    """
+    hasher = hashlib.sha256()
+    for record in events:
+        hasher.update(json.dumps(fingerprint_view(record),
+                                 sort_keys=True).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def decision_events(events: List[Dict[str, Any]],
+                    name: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Every ``event`` record, optionally filtered by event name."""
+    return [e for e in events
+            if e.get("kind") == "event"
+            and (name is None or e.get("name") == name)]
+
+
+def span_rollup(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Per span-name aggregate: count, closed count, total duration."""
+    rollup: Dict[str, Dict[str, float]] = defaultdict(
+        lambda: {"count": 0, "closed": 0, "total_s": 0.0})
+    for record in events:
+        kind = record.get("kind")
+        if kind == "span_start":
+            rollup[record.get("name", "?")]["count"] += 1
+        elif kind == "span_end":
+            entry = rollup[record.get("name", "?")]
+            entry["closed"] += 1
+            entry["total_s"] += float(record.get("dur_s", 0.0))
+    return dict(rollup)
+
+
+def _field(record: Dict[str, Any], key: str, default=None):
+    return record.get("fields", {}).get(key, default)
+
+
+def summarize_trace(target: PathLike) -> Dict[str, Any]:
+    """Aggregate a trace into the structure the CLI renders.
+
+    Sections: run identity, span rollup, decision telemetry (NID
+    expansions / PIT trims per span, EIR distillation stats, fault-probe
+    firings, journal incidents), log lines, and the final metric
+    snapshot.
+    """
+    events, skipped = read_trace(target)
+    opens = [e for e in events if e.get("kind") == "trace_open"]
+    metrics: Dict[str, Any] = {}
+    for record in events:
+        if record.get("kind") == "metrics":
+            metrics = record.get("metrics", {})
+
+    expansions = decision_events(events, "nid.expansion")
+    trims = decision_events(events, "pit.trim")
+    eir = decision_events(events, "eir.distill")
+    faults = decision_events(events, "fault.fired")
+    incidents = decision_events(events, "journal.incident")
+    committed = decision_events(events, "journal.span_committed")
+    logs = decision_events(events, "log")
+
+    by_span = lambda evs: {  # noqa: E731 - tiny local aggregation
+        span: sorted(_field(e, "user") for e in evs
+                     if _field(e, "span_id") == span)
+        for span in sorted({_field(e, "span_id") for e in evs})
+    }
+    eir_values = [float(_field(e, "kd")) for e in eir
+                  if _field(e, "kd") is not None]
+
+    return {
+        "path": str(_trace_path(target)),
+        "events": len(events),
+        "skipped_lines": skipped,
+        "runs": [{"run_id": o.get("run_id"), "resumed": o.get("resumed")}
+                 for o in opens],
+        "fingerprint": trace_fingerprint(events),
+        "spans": span_rollup(events),
+        "nid_expansions": by_span(expansions),
+        "pit_trims": {
+            span: int(sum(_field(e, "removed", 0) for e in trims
+                          if _field(e, "span_id") == span))
+            for span in sorted({_field(e, "span_id") for e in trims})
+        },
+        "eir": {
+            "count": len(eir_values),
+            "mean": (sum(eir_values) / len(eir_values)) if eir_values else None,
+            "max": max(eir_values) if eir_values else None,
+        },
+        "faults": [
+            {"point": _field(e, "point"), "kind": _field(e, "fault_kind"),
+             "occurrence": _field(e, "occurrence")}
+            for e in faults
+        ],
+        "incidents": [
+            {"span": _field(e, "span_id"), "kind": _field(e, "incident"),
+             "action": _field(e, "action")}
+            for e in incidents
+        ],
+        "spans_committed": sorted(
+            _field(e, "span_id") for e in committed),
+        "log_lines": len(logs),
+        "metrics": metrics,
+    }
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize_trace`'s output."""
+    lines: List[str] = []
+    runs = summary.get("runs", [])
+    resumes = sum(1 for r in runs if r.get("resumed"))
+    lines.append(f"trace {summary['path']}")
+    lines.append(
+        f"  {summary['events']} events, {summary['skipped_lines']} torn "
+        f"line(s) skipped, {len(runs)} run segment(s)"
+        + (f" ({resumes} resumed)" if resumes else ""))
+    lines.append(f"  fingerprint {summary['fingerprint'][:16]}…")
+
+    spans = summary.get("spans", {})
+    if spans:
+        lines.append("spans:")
+        width = max(len(name) for name in spans)
+        for name in sorted(spans):
+            entry = spans[name]
+            lines.append(
+                f"  {name:<{width}}  n={int(entry['count']):<5d} "
+                f"total={entry['total_s']:.3f}s")
+
+    expansions = summary.get("nid_expansions", {})
+    lines.append("decisions:")
+    if expansions:
+        for span, users in expansions.items():
+            lines.append(
+                f"  nid.expansion  span {span}: {len(users)} user(s) "
+                f"{users}")
+    else:
+        lines.append("  nid.expansion  none")
+    trims = summary.get("pit_trims", {})
+    if trims:
+        for span, removed in trims.items():
+            lines.append(f"  pit.trim       span {span}: {removed} "
+                         f"capsule(s) removed")
+    else:
+        lines.append("  pit.trim       none")
+    eir = summary.get("eir", {})
+    if eir.get("count"):
+        lines.append(
+            f"  eir.distill    {eir['count']} loss value(s), "
+            f"mean={eir['mean']:.6f} max={eir['max']:.6f}")
+    else:
+        lines.append("  eir.distill    none")
+
+    faults = summary.get("faults", [])
+    if faults:
+        for f in faults:
+            lines.append(
+                f"  fault.fired    {f['point']} ({f['kind']}, "
+                f"occurrence {f['occurrence']})")
+    incidents = summary.get("incidents", [])
+    if incidents:
+        for inc in incidents:
+            lines.append(
+                f"  incident       span {inc['span']}: {inc['kind']} -> "
+                f"{inc['action']}")
+    committed = summary.get("spans_committed", [])
+    if committed:
+        lines.append(f"  journal        spans committed: {committed}")
+    if summary.get("log_lines"):
+        lines.append(f"  log            {summary['log_lines']} line(s)")
+
+    metrics = summary.get("metrics", {})
+    if metrics:
+        lines.append("metrics:")
+        width = max(len(name) for name in metrics)
+        for name in sorted(metrics):
+            state = metrics[name]
+            if state.get("type") == "histogram":
+                mean = (state["sum"] / state["count"]) if state["count"] else 0
+                cell = (f"count={state['count']} mean={mean:.6g} "
+                        f"min={state['min']:.6g} max={state['max']:.6g}")
+            else:
+                cell = f"value={state.get('value')}"
+            lines.append(f"  {name:<{width}}  {cell}")
+    return "\n".join(lines)

@@ -41,7 +41,6 @@ from __future__ import annotations
 import hashlib
 import io
 import json
-import logging
 import os
 import tempfile
 import zipfile
@@ -54,10 +53,12 @@ import numpy as np
 from . import faults
 from .incremental.strategy import IncrementalStrategy
 from .nn import Parameter
+from .obs import trace as obs
+from .obs.log import get_logger
 
 PathLike = Union[str, Path]
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 _FORMAT_VERSION = 2
 
@@ -212,12 +213,15 @@ def save_checkpoint(strategy: IncrementalStrategy, path: PathLike,
     payload["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
-    buffer = io.BytesIO()
-    np.savez_compressed(buffer, **payload)
-    blob = buffer.getvalue()
-    trailer = (b"\n" + _TRAILER_MARKER
-               + hashlib.sha256(blob).hexdigest().encode("ascii") + b"\n")
-    atomic_write_bytes(blob + trailer, path, kind="checkpoint")
+    with obs.span("checkpoint.save", file=path.name, span_id=span):
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **payload)
+        blob = buffer.getvalue()
+        trailer = (b"\n" + _TRAILER_MARKER
+                   + hashlib.sha256(blob).hexdigest().encode("ascii") + b"\n")
+        atomic_write_bytes(blob + trailer, path, kind="checkpoint")
+        obs.counter("checkpoint.saves")
+        obs.gauge("checkpoint.bytes", len(blob) + len(trailer))
     return path
 
 
@@ -342,7 +346,9 @@ def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
     Returns the checkpoint manifest.
     """
     path = normalize_checkpoint_path(path)
-    meta, arrays = _read_archive(path, verify=True)
+    with obs.span("checkpoint.load", file=path.name):
+        meta, arrays = _read_archive(path, verify=True)
+        obs.counter("checkpoint.loads")
 
     if meta.get("model_family") != strategy.model.family:
         raise CheckpointError(

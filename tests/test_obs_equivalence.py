@@ -1,0 +1,222 @@
+"""Observability acceptance properties.
+
+Tracing is telemetry, not physics: turning it on must leave every run
+metric bit-identical (per-user *and* micro-batched engines), survive a
+crash at every span boundary alongside the checkpoint journal, and the
+trace alone must reconstruct each NID expansion, PIT trim, EIR loss,
+fault firing, and rollback incident the run actually made.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import make_strategy, run_strategy
+from repro.faults import FaultPlan, SimulatedCrash, active
+from repro.incremental import TrainConfig
+from repro.obs import read_trace, summarize_trace
+
+from tests.test_crash_resume import (
+    assert_metric_identical,
+    build,
+    fast_config,
+)
+
+
+def traced_run(tiny_split, trace_dir, *, config=None, resume=False,
+               checkpoint_dir=None):
+    return run_strategy(build(tiny_split, config=config), tiny_split,
+                        "tiny", "ComiRec-DR", trace_dir=trace_dir,
+                        resume=resume, checkpoint_dir=checkpoint_dir)
+
+
+class TestTracingIsInert:
+    """The zero-interference property, on both execution engines."""
+
+    @pytest.mark.parametrize("users_per_batch", [1, 4])
+    def test_traced_run_is_bit_identical(self, tiny_split, tmp_path,
+                                         users_per_batch):
+        config = fast_config(users_per_batch=users_per_batch,
+                             batched_snapshots=users_per_batch > 1)
+        reference = run_strategy(build(tiny_split, config=config),
+                                 tiny_split, "tiny", "ComiRec-DR")
+        traced = traced_run(tiny_split, tmp_path, config=config)
+        assert_metric_identical(traced, reference)
+        events, skipped = read_trace(tmp_path)
+        assert skipped == 0 and len(events) > 10
+
+    def test_trace_dir_is_off_by_default(self, tiny_split):
+        result = run_strategy(build(tiny_split), tiny_split, "tiny",
+                              "ComiRec-DR")
+        assert result.per_span  # and no tracer was ever started
+        from repro.obs import enabled
+        assert not enabled()
+
+
+class TestTimingAttribution:
+    """RunResult reports train/extract/eval wall clock per span, and a
+    resumed run restores the original spans' timings from the journal
+    instead of reporting zeros."""
+
+    def test_result_carries_per_span_timings(self, tiny_split, tmp_path):
+        result = traced_run(tiny_split, tmp_path / "trace",
+                            checkpoint_dir=tmp_path / "ck")
+        spans = list(range(tiny_split.T))
+        assert sorted(result.train_times) == spans
+        assert sorted(result.extract_times) == spans
+        assert sorted(result.eval_times) == spans[1:]  # pretrain: no eval
+        assert all(v > 0 for v in result.train_times.values())
+        assert all(v >= 0 for v in result.extract_times.values())
+        assert all(v > 0 for v in result.eval_times.values())
+
+    def test_resume_restores_committed_timings(self, tiny_split, tmp_path):
+        plan = FaultPlan().crash_at_span_boundary(2)
+        with active(plan):
+            with pytest.raises(SimulatedCrash):
+                run_strategy(build(tiny_split), tiny_split, "tiny",
+                             "ComiRec-DR", checkpoint_dir=tmp_path)
+        resumed = run_strategy(build(tiny_split), tiny_split, "tiny",
+                               "ComiRec-DR", checkpoint_dir=tmp_path,
+                               resume=True)
+        assert resumed.resumed_spans == [1, 2]
+        # the reused spans carry the *original* process's wall clock,
+        # journaled at commit time — honest cumulative timings
+        for span in (1, 2):
+            assert resumed.train_times[span] > 0
+            assert resumed.eval_times[span] > 0
+
+
+class TestCrashResumeWithTracing:
+    """Tracing + journaling + crash at every boundary: the resumed run
+    stays metric-identical and the trace survives as two segments."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, tiny_split):
+        return run_strategy(build(tiny_split), tiny_split, "tiny",
+                            "ComiRec-DR")
+
+    @pytest.mark.parametrize("boundary", [0, 1, 2, 3])
+    def test_crash_then_resume_with_tracing(self, tiny_split, baseline,
+                                            tmp_path, boundary):
+        ckdir, trdir = tmp_path / "ck", tmp_path / "trace"
+        plan = FaultPlan(seed=boundary).crash_at_span_boundary(boundary)
+        with active(plan):
+            with pytest.raises(SimulatedCrash):
+                traced_run(tiny_split, trdir, checkpoint_dir=ckdir)
+        # the crash interrupted the tracer mid-run: the sink must still
+        # parse (at most the torn final line is lost) and must contain
+        # the fault firing itself
+        events, skipped = read_trace(trdir)
+        assert skipped <= 1
+        fired = [e for e in events if e.get("kind") == "event"
+                 and e.get("name") == "fault.fired"]
+        assert fired and fired[-1]["fields"]["point"] == "span-boundary"
+
+        resumed = run_strategy(build(tiny_split), tiny_split, "tiny",
+                               "ComiRec-DR", checkpoint_dir=ckdir,
+                               resume=True, trace_dir=trdir)
+        assert_metric_identical(resumed, baseline)
+        summary = summarize_trace(trdir)
+        assert [r["resumed"] for r in summary["runs"]] == [False, True]
+        assert summary["skipped_lines"] == 0  # torn tail was truncated
+        resumed_events = [e for e in read_trace(trdir)[0]
+                          if e.get("kind") == "event"
+                          and e.get("name") == "span.resumed"]
+        assert [e["fields"]["span_id"] for e in resumed_events] == \
+            list(range(1, boundary + 1))
+
+
+class TestDecisionReconstruction:
+    """Acceptance criterion: the trace alone reconstructs every decision
+    the strategies made — checked against the strategies' own logs."""
+
+    @pytest.fixture(scope="class")
+    def traced(self, tiny_split, tmp_path_factory):
+        trdir = tmp_path_factory.mktemp("decisions")
+        strategy = build(tiny_split)
+        result = run_strategy(strategy, tiny_split, "tiny", "ComiRec-DR",
+                              trace_dir=trdir)
+        return trdir, strategy, result
+
+    def test_nid_expansions_match_strategy_log(self, traced):
+        trdir, strategy, _ = traced
+        summary = summarize_trace(trdir)
+        expected = {t: sorted(users)
+                    for t, users in strategy.expansion_log.items()}
+        assert summary["nid_expansions"] == expected
+        assert summary["nid_expansions"]  # the tiny world does expand
+
+    def test_pit_trims_match_strategy_log(self, traced):
+        trdir, strategy, _ = traced
+        summary = summarize_trace(trdir)
+        expected = {t: sum(per_user.values())
+                    for t, per_user in strategy.trim_log.items() if per_user}
+        assert summary["pit_trims"] == expected
+
+    def test_eir_losses_are_recorded_per_user(self, traced):
+        trdir, _, _ = traced
+        events, _ = read_trace(trdir)
+        distill = [e for e in events if e.get("kind") == "event"
+                   and e.get("name") == "eir.distill"]
+        assert distill
+        for e in distill:
+            fields = e["fields"]
+            assert fields["kd"] >= 0.0
+            assert fields["retainer"]
+            assert fields["span_id"] >= 1  # EIR only acts incrementally
+
+    def test_journal_commits_are_traced(self, tiny_split, tmp_path):
+        result = traced_run(tiny_split, tmp_path / "trace",
+                            checkpoint_dir=tmp_path / "ck")
+        assert result.incidents == []
+        summary = summarize_trace(tmp_path / "trace")
+        assert summary["spans_committed"] == list(range(tiny_split.T))
+
+    def test_fault_firings_are_traced(self, tiny_split, tmp_path):
+        plan = FaultPlan().nan_loss_at_step(3)
+        with active(plan):
+            traced_run(tiny_split, tmp_path)
+        summary = summarize_trace(tmp_path)
+        assert {"point": "train-step", "kind": "modifier", "occurrence": 3} \
+            in summary["faults"]
+        # containment skipped the poisoned update and counted it
+        assert summary["metrics"]["train.nonfinite_skips"]["value"] >= 1.0
+
+    def test_rollback_incident_is_traced(self, tiny_split, tmp_path):
+        plan = FaultPlan(seed=5).poison_params_after_span(2)
+        with active(plan):
+            result = traced_run(tiny_split, tmp_path / "trace",
+                                checkpoint_dir=tmp_path / "ck")
+        assert len(result.incidents) == 1
+        summary = summarize_trace(tmp_path / "trace")
+        assert summary["incidents"] == [
+            {"span": 2, "kind": "non-finite-state",
+             "action": "rolled-back-to-span-1"}]
+        assert summary["metrics"]["divergence.rollbacks"]["value"] == 1.0
+        events, _ = read_trace(tmp_path / "trace")
+        rollbacks = [e for e in events if e.get("kind") == "event"
+                     and e.get("name") == "divergence.rollback"]
+        assert rollbacks[0]["fields"] == {"span_id": 2,
+                                          "kind": "non-finite-state",
+                                          "restored_span": 1}
+
+
+class TestCliSummarize:
+    def test_cli_renders_a_recorded_trace(self, tiny_split, tmp_path,
+                                          capsys):
+        from repro.cli import main
+
+        traced_run(tiny_split, tmp_path)
+        assert main(["trace", "summarize", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "nid.expansion" in out and "metrics:" in out
+
+        assert main(["trace", "summarize", str(tmp_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] > 0
+
+    def test_cli_reports_missing_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "summarize", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Measure the cost of the runtime write-guard (repro.sanitize).
+
+Usage:  PYTHONPATH=src python benchmarks/sanitize_probe.py
+            [--repeats N] [--out BENCH_sanitize.json]
+
+Three measurements:
+
+* **disabled guard cost** — microbenchmarks of the two prices every
+  guarded site pays in a normal, unenforced run: one
+  ``sanitize.capture`` call (a bool test + isinstance check) and one
+  ``_enabled`` flag test inside ``Tensor._make``;
+* **unenforced run** — best-of wall time of a full incremental IMSR
+  run with the sanitizer off (the production configuration);
+* **enforced run** — the same run under ``sanitize.enforced()``, where
+  every capture boundary freezes and every graph build stamps.
+
+The headline number is ``disabled_overhead_pct``: the guarded-site
+firing counts of a real run times the per-call disabled costs, as a
+percentage of the unenforced wall time.  That is the worst-case tax the
+write-guard adds to a run that never turns enforcement on.  The probe
+**asserts it stays under 2%** — the budget docs/ANALYSIS.md promises —
+so CI fails if a guard ever lands on a hot path.
+
+Emits a JSON report (``BENCH_sanitize.json`` in CI) that
+``benchmarks/summarize.py --sanitize`` folds into the markdown summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro import sanitize
+from repro.autograd.tensor import Tensor
+from repro.data import WorldConfig, generate_world, split_time_spans
+from repro.experiments import make_strategy, run_strategy
+from repro.incremental import TrainConfig
+
+OVERHEAD_BUDGET_PCT = 2.0
+
+WORLD = WorldConfig(
+    num_users=32, num_items=200, num_topics=8,
+    init_topics_per_user=(2, 3), new_topic_rate=0.6, num_spans=3,
+    pretrain_events_per_user=(16, 24), span_events_per_user=(8, 12),
+    initial_catalog_fraction=0.8, span_activity=0.9, seed=11,
+)
+
+#: every module that imported ``capture`` by value; the counter has to
+#: patch the reference each of them actually calls through
+_CAPTURE_SITES = (
+    "repro.models.base",
+    "repro.models.batched_train",
+    "repro.incremental.strategy",
+    "repro.incremental.ewc",
+    "repro.incremental.ader",
+    "repro.incremental.imsr_replay",
+    "repro.incremental.imsr.framework",
+    "repro.persistence",
+)
+
+
+def best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall time in seconds (robust to scheduler noise)."""
+    times: List[float] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def measure_disabled_capture(loops: int = 200_000) -> float:
+    """Per-call cost (seconds) of ``capture`` with enforcement off."""
+    if sanitize.checking_enabled():
+        raise AssertionError("disabled-guard benchmark needs enforcement off")
+    arr = np.zeros(8)
+    capture = sanitize.capture
+
+    def mix() -> None:
+        for _ in range(loops):
+            capture(arr)
+
+    return best_of(mix, 3) / loops
+
+
+def measure_disabled_flag_test(loops: int = 200_000) -> float:
+    """Per-call cost (seconds) of the ``_enabled`` test in ``_make``."""
+
+    def mix() -> None:
+        for _ in range(loops):
+            if sanitize._enabled:  # the exact expression _make evaluates
+                pass
+
+    return best_of(mix, 3) / loops
+
+
+def count_guard_firings(split) -> dict:
+    """One full run with counting shims on every guarded site."""
+    import importlib
+
+    counts = {"capture": 0, "make": 0}
+    real_capture = sanitize.capture
+    real_make = Tensor._make
+
+    def counting_capture(array):
+        counts["capture"] += 1
+        return real_capture(array)
+
+    def counting_make(data, parents):
+        counts["make"] += 1
+        return real_make(data, parents)
+
+    modules = [importlib.import_module(name) for name in _CAPTURE_SITES]
+    for mod in modules:
+        mod._capture = counting_capture
+    Tensor._make = staticmethod(counting_make)
+    try:
+        run_strategy(build_strategy(split), split, "bench", "bench")
+    finally:
+        for mod in modules:
+            mod._capture = real_capture
+        Tensor._make = staticmethod(real_make)
+    return counts
+
+
+def build_strategy(split):
+    config = TrainConfig(epochs_pretrain=2, epochs_incremental=2,
+                         num_negatives=10, seed=0)
+    return make_strategy("IMSR", "ComiRec-DR", split, config,
+                         model_kwargs={"dim": 32, "num_interests": 4},
+                         strategy_kwargs={"c1": 0.2})
+
+
+def measure(repeats: int = 3) -> dict:
+    world = generate_world(WORLD)
+    split = split_time_spans(world.interactions, num_items=WORLD.num_items,
+                             T=WORLD.num_spans, alpha=0.5)
+
+    capture_ns = measure_disabled_capture()
+    flag_ns = measure_disabled_flag_test()
+    counts = count_guard_firings(split)
+
+    def run_off():
+        return run_strategy(build_strategy(split), split, "bench", "bench")
+
+    with sanitize.enforced(False):
+        run_off_s = best_of(run_off, repeats)
+    with sanitize.enforced(True):
+        run_on_s = best_of(run_off, repeats)
+
+    disabled_cost_s = (counts["capture"] * capture_ns
+                       + counts["make"] * flag_ns)
+    disabled_overhead_pct = 100.0 * disabled_cost_s / run_off_s
+    enforced_overhead_pct = 100.0 * (run_on_s - run_off_s) / run_off_s
+
+    return {
+        "version": 1,
+        "tool": "repro.sanitize",
+        "world": {"users": WORLD.num_users, "items": WORLD.num_items,
+                  "spans": WORLD.num_spans},
+        "capture_ns": round(capture_ns * 1e9, 1),
+        "flag_test_ns": round(flag_ns * 1e9, 1),
+        "capture_calls": counts["capture"],
+        "graph_builds": counts["make"],
+        "run_off_s": round(run_off_s, 4),
+        "run_enforced_s": round(run_on_s, 4),
+        "disabled_overhead_pct": round(disabled_overhead_pct, 4),
+        "enforced_overhead_pct": round(enforced_overhead_pct, 2),
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+    }
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per timing (default 3)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON report here (default stdout)")
+    args = parser.parse_args(argv)
+    report = measure(repeats=args.repeats)
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"disabled guards: capture {report['capture_ns']} ns x "
+              f"{report['capture_calls']} calls, flag test "
+              f"{report['flag_test_ns']} ns x {report['graph_builds']} "
+              f"graph builds -> {report['disabled_overhead_pct']:.4f}% of "
+              f"the unenforced run (budget {report['budget_pct']}%)")
+        print(f"enforced run: {report['enforced_overhead_pct']:+.1f}% wall")
+    else:
+        print(payload)
+    if report["disabled_overhead_pct"] >= OVERHEAD_BUDGET_PCT:
+        print(f"FAIL: disabled-guard overhead "
+              f"{report['disabled_overhead_pct']:.4f}% exceeds the "
+              f"{OVERHEAD_BUDGET_PCT}% budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,7 +4,7 @@
 Usage:  python benchmarks/summarize.py bench_output.txt
             [--lint lint.json] [--contracts src]
             [--robustness robustness.json] [--perf BENCH_perf.json]
-            [--obs BENCH_obs.json]
+            [--obs BENCH_obs.json] [--sanitize BENCH_sanitize.json]
 
 Parses the ``===== <title> =====`` sections and the ``N/M shape checks
 hold`` lines the bench harness prints, and emits the markdown summary
@@ -18,7 +18,9 @@ functions / total public functions) is appended as well; with
 ``--perf``, the batched-engine speedups emitted by
 ``benchmarks/perf_probe.py`` are folded in the same way; with
 ``--obs``, the instrumentation-overhead report emitted by
-``benchmarks/obs_probe.py`` is folded in as well.
+``benchmarks/obs_probe.py`` is folded in as well; with ``--sanitize``,
+the write-guard overhead report emitted by
+``benchmarks/sanitize_probe.py`` is folded in alongside it.
 """
 
 from __future__ import annotations
@@ -47,21 +49,37 @@ def parse_sections(text: str) -> List[Tuple[str, int, int]]:
     return sections
 
 
+def _rule_family_counts(by_rule: dict) -> dict:
+    """Roll finding counts up into rule families (RA1xx, RA6xx, ...)."""
+    families: dict = {}
+    for rid, n in by_rule.items():
+        family = rid[:3] + "xx" if re.match(r"^RA\d{3}$", rid) else rid
+        families[family] = families.get(family, 0) + int(n)
+    return families
+
+
 def parse_lint(text: str) -> Tuple[str, str]:
-    """Turn a ``repro.analysis --format json`` report into a table row."""
+    """Turn a ``repro.analysis --format json`` report into a table row.
+
+    Aliasing (RA6xx) and determinism (RA7xx) counts are always shown —
+    zero included — so the summary records that those families ran.
+    """
     payload = json.loads(text)
     summary = payload.get("summary", {})
     findings = int(summary.get("findings", 0))
     parse_errors = int(summary.get("parse_errors", 0))
     files = int(summary.get("files_scanned", 0))
+    families = _rule_family_counts(summary.get("by_rule", {}))
+    tracked = ", ".join(
+        f"{fam} {families.get(fam, 0)}" for fam in ("RA6xx", "RA7xx"))
     if findings == 0 and parse_errors == 0:
-        return ("static analysis", f"clean ({files} files)")
+        return ("static analysis", f"clean ({files} files; {tracked})")
     by_rule = summary.get("by_rule", {})
     detail = ", ".join(f"{rid}×{n}" for rid, n in sorted(by_rule.items()))
     cell = f"{findings + parse_errors} finding(s)"
     if detail:
         cell += f" [{detail}]"
-    return ("static analysis", cell)
+    return ("static analysis", f"{cell} ({tracked})")
 
 
 def _is_contract_decorator(node: ast.expr) -> bool:
@@ -169,12 +187,33 @@ def parse_obs(text: str) -> List[Tuple[str, str]]:
     return rows
 
 
+def parse_sanitize(text: str) -> List[Tuple[str, str]]:
+    """Turn a ``sanitize_probe.py`` JSON report into table rows."""
+    payload = json.loads(text)
+    if payload.get("tool") != "repro.sanitize":
+        raise ValueError(
+            f"not a sanitize report (tool={payload.get('tool')!r})")
+    rows = [
+        ("disabled guards",
+         f"capture {payload.get('capture_ns', 0):.0f} ns × "
+         f"{payload.get('capture_calls', 0)}, flag "
+         f"{payload.get('flag_test_ns', 0):.0f} ns × "
+         f"{payload.get('graph_builds', 0)} = "
+         f"{payload.get('disabled_overhead_pct', 0):.3f}% of run "
+         f"(budget {payload.get('budget_pct', 0):.0f}%)"),
+        ("enforced run",
+         f"{payload.get('enforced_overhead_pct', 0):+.1f}% wall clock"),
+    ]
+    return rows
+
+
 def to_markdown(sections: List[Tuple[str, int, int]],
                 lint: Optional[Tuple[str, str]] = None,
                 coverage: Optional[List[Tuple[str, int, int]]] = None,
                 robustness: Optional[List[Tuple[str, str]]] = None,
                 perf: Optional[List[Tuple[str, str]]] = None,
-                obs: Optional[List[Tuple[str, str]]] = None) -> str:
+                obs: Optional[List[Tuple[str, str]]] = None,
+                sanitize: Optional[List[Tuple[str, str]]] = None) -> str:
     lines = ["| experiment | shape checks |", "|---|---|"]
     passed_total = checks_total = 0
     for title, passed, total in sections:
@@ -202,6 +241,9 @@ def to_markdown(sections: List[Tuple[str, int, int]],
     if obs:
         for label, cell in obs:
             lines.append(f"| obs: {label} | {cell} |")
+    if sanitize:
+        for label, cell in sanitize:
+            lines.append(f"| sanitize: {label} | {cell} |")
     return "\n".join(lines)
 
 
@@ -225,8 +267,10 @@ def main(argv: List[str]) -> int:
     robustness_path = _take_flag(args, "--robustness")
     perf_path = _take_flag(args, "--perf")
     obs_path = _take_flag(args, "--obs")
+    sanitize_path = _take_flag(args, "--sanitize")
     if (lint_path == "" or contracts_root == "" or robustness_path == ""
-            or perf_path == "" or obs_path == "" or len(args) != 1):
+            or perf_path == "" or obs_path == "" or sanitize_path == ""
+            or len(args) != 1):
         print(__doc__)
         return 2
     text = Path(args[0]).read_text()
@@ -273,8 +317,17 @@ def main(argv: List[str]) -> int:
             print(f"error: could not read obs report {obs_path}: {exc}",
                   file=sys.stderr)
             return 2
+    sanitize = None
+    if sanitize_path is not None:
+        try:
+            sanitize = parse_sanitize(Path(sanitize_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: could not read sanitize report "
+                  f"{sanitize_path}: {exc}", file=sys.stderr)
+            return 2
     print(to_markdown(sections, lint=lint, coverage=coverage,
-                      robustness=robustness, perf=perf, obs=obs))
+                      robustness=robustness, perf=perf, obs=obs,
+                      sanitize=sanitize))
     return 0
 
 

@@ -23,7 +23,7 @@ Layered public API:
 """
 
 from . import analysis, autograd, data, eval, experiments, incremental, lifelong, models, nn
-from . import faults, obs, persistence
+from . import faults, obs, persistence, sanitize
 
 __version__ = "1.0.0"
 
@@ -40,5 +40,6 @@ __all__ = [
     "persistence",
     "faults",
     "obs",
+    "sanitize",
     "__version__",
 ]

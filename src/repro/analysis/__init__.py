@@ -26,6 +26,8 @@ from .engine import AnalysisReport, analyze_paths, analyze_source, iter_python_f
 from .reporters import render_github, render_json, render_text
 from . import rules  # registers the rule set on import
 from . import shapes  # registers the RA5xx shape-contract family
+from . import aliasing  # registers the RA6xx aliasing family
+from . import determinism  # registers the RA7xx determinism family
 
 __all__ = [
     "AnalysisReport",
@@ -35,9 +37,11 @@ __all__ = [
     "ModuleContext",
     "Rule",
     "RULE_REGISTRY",
+    "aliasing",
     "all_rules",
     "analyze_paths",
     "analyze_source",
+    "determinism",
     "discover_baseline",
     "iter_python_files",
     "register",

@@ -1,0 +1,175 @@
+"""RA7xx: determinism rules — ordering hazards in reductions and discovery.
+
+The repo's reproducibility story (bit-identical crash/resume, per-user vs
+micro-batched gradient identity, trace fingerprints) assumes every
+numeric reduction happens in a fixed order and every discovery pass
+(checkpoint/journal scans) sees files in a fixed order.  Three classes
+of code break that silently:
+
+* **RA701** — accumulating numbers while iterating a ``set``: iteration
+  order depends on ``PYTHONHASHSEED`` for str/tuple elements, so two
+  runs of the same program can reduce in different orders (and float
+  addition does not commute bitwise);
+* **RA702** — consuming ``os.listdir`` / ``glob`` / ``Path.iterdir``
+  results without ``sorted(...)``: listing order is
+  filesystem-dependent, so resume/journal discovery can pick different
+  files on different machines;
+* **RA703** — ``time``/``id()``/wall-clock values inside functions that
+  compute fingerprints, digests, or cache keys: the output then differs
+  run to run even for identical inputs.
+
+Order-insensitive consumers (``sorted``, ``set``, ``len``, ``any``,
+``all``, ``max``, ``min``) exempt a listing; everything else needs the
+explicit sort.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional
+
+from .core import SEVERITY_ERROR, Finding, ModuleContext, Rule, register
+from .rules import dotted_name, functions, terminal_name
+
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "set", "frozenset", "len", "any", "all", "max", "min",
+})
+_LISTING_CALLS = ("os.listdir", "glob.glob", "glob.iglob", "os.scandir")
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+_FP_NAME_RE = re.compile(
+    r"fingerprint|cache_key|digest|checksum|stable_hash", re.IGNORECASE)
+_IMPURE_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "os.urandom",
+    "uuid.uuid1", "uuid.uuid4",
+})
+_IMPURE_METHODS = frozenset({"now", "utcnow", "today"})
+
+
+def _is_set_expr(node: ast.AST, set_names: Dict[str, bool]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        if name in ("set", "frozenset") and not isinstance(
+                node.func, ast.Attribute):
+            return True
+    if isinstance(node, ast.Name):
+        return set_names.get(node.id, False)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # set algebra: s1 | s2, s1 & s2, s1 - s2
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    return False
+
+
+def _set_assignments(fn: ast.AST) -> Dict[str, bool]:
+    """Local names ever assigned a set-valued expression (may-semantics)."""
+    names: Dict[str, bool] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        _is_set_expr(node.value, names):
+                    names[target.id] = True
+    return names
+
+
+@register
+class SetIterationAccumulation(Rule):
+    """RA701: numeric accumulation over unordered set iteration."""
+
+    id = "RA701"
+    name = "set-iteration-accumulation"
+    severity = SEVERITY_ERROR
+    summary = ("accumulating while iterating a set: iteration order is "
+               "hash-seed dependent, so float reductions lose bitwise "
+               "determinism; iterate sorted(...) instead")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for fn in functions(ctx.tree):
+            set_names = _set_assignments(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.For):
+                    continue
+                if not _is_set_expr(node.iter, set_names):
+                    continue
+                accumulates = any(
+                    isinstance(inner, ast.AugAssign)
+                    for stmt in node.body for inner in ast.walk(stmt))
+                if accumulates:
+                    yield self.finding(
+                        ctx, node,
+                        "loop accumulates over a set whose iteration order "
+                        "is not deterministic across processes; iterate "
+                        "sorted(...) so the reduction order is fixed")
+
+
+@register
+class UnsortedDirectoryListing(Rule):
+    """RA702: directory listing consumed without sorted(...)."""
+
+    id = "RA702"
+    name = "unsorted-directory-listing"
+    severity = SEVERITY_ERROR
+    summary = ("os.listdir/glob/Path.iterdir order is filesystem-dependent; "
+               "wrap the listing in sorted(...) before consuming it")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            is_listing = (name in _LISTING_CALLS
+                          or (isinstance(node.func, ast.Attribute)
+                              and node.func.attr in _LISTING_METHODS))
+            if not is_listing:
+                continue
+            exempt = any(
+                isinstance(anc, ast.Call)
+                and terminal_name(anc.func) in _ORDER_INSENSITIVE
+                for anc in ctx.ancestors(node))
+            if exempt:
+                continue
+            yield self.finding(
+                ctx, node,
+                "directory listing order depends on the filesystem; wrap in "
+                "sorted(...) (or consume it order-insensitively) so "
+                "discovery is deterministic")
+
+
+@register
+class ImpureFingerprint(Rule):
+    """RA703: wall-clock / id() values flowing into fingerprint paths."""
+
+    id = "RA703"
+    name = "impure-fingerprint"
+    severity = SEVERITY_ERROR
+    summary = ("time/id()/urandom inside a fingerprint/digest/cache-key "
+               "function makes the result differ run to run for identical "
+               "inputs")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for fn in functions(ctx.tree):
+            if not _FP_NAME_RE.search(fn.name):
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                impure = (
+                    name in _IMPURE_CALLS
+                    or (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _IMPURE_METHODS)
+                    or (isinstance(node.func, ast.Name)
+                        and node.func.id == "id"))
+                if impure:
+                    label = name or terminal_name(node.func)
+                    yield self.finding(
+                        ctx, node,
+                        f"'{label}()' in a fingerprinted path: the value "
+                        f"changes run to run, so the fingerprint is not a "
+                        f"function of its inputs; derive it from content "
+                        f"only")

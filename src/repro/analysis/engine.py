@@ -15,6 +15,8 @@ from typing import List, Optional, Sequence
 
 from . import rules as _rules  # noqa: F401  (importing registers the rules)
 from . import shapes as _shapes  # noqa: F401  (registers the RA5xx family)
+from . import aliasing as _aliasing  # noqa: F401  (registers the RA6xx family)
+from . import determinism as _determinism  # noqa: F401  (registers RA7xx)
 from .baseline import Baseline, BaselineEntry
 from .core import (
     PARSE_ERROR_RULE,

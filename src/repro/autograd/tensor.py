@@ -23,6 +23,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import sanitize as _sanitize
+
 ArrayLike = Union[float, int, list, tuple, np.ndarray, "Tensor"]
 
 _grad_enabled = True
@@ -79,7 +81,8 @@ class Tensor:
         If True, gradients are accumulated into ``self.grad`` on backward.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward_fns", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fns", "_parents",
+                 "_stamp")
     __array_priority__ = 100  # make numpy defer to our __radd__ etc.
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
@@ -89,6 +92,9 @@ class Tensor:
         # list of (parent, fn) where fn maps d(out) -> d(parent)
         self._backward_fns: List[Tuple["Tensor", Callable[[np.ndarray], np.ndarray]]] = []
         self._parents: Tuple["Tensor", ...] = ()
+        # sanitizer version stamp of self.data, taken when this tensor
+        # first feeds a tracked op; verified and cleared by backward()
+        self._stamp = None
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -132,6 +138,7 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+        self._stamp = None
 
     # ------------------------------------------------------------------ #
     # graph building
@@ -147,6 +154,10 @@ class Tensor:
         if track:
             out._backward_fns = [(p, fn) for p, fn in parents if p.requires_grad]
             out._parents = tuple(p for p, _ in out._backward_fns)
+            if _sanitize._enabled:
+                for p in out._parents:
+                    if p._stamp is None:
+                        p._stamp = _sanitize.buffer_stamp(p.data)
         return out
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
@@ -185,6 +196,18 @@ class Tensor:
                         topo.append(current)
 
         build(self)
+
+        if _sanitize._enabled:
+            for node in topo:
+                if node._stamp is not None and \
+                        node._stamp != _sanitize.buffer_stamp(node.data):
+                    raise _sanitize.SanitizeViolation(
+                        f"Tensor buffer (shape {node.data.shape}) was mutated "
+                        f"in place between forward and backward; copy before "
+                        f"mutating, or mutate under no_grad before the graph "
+                        f"is built")
+        for node in topo:
+            node._stamp = None
 
         grads = {id(self): grad}
         for node in reversed(topo):

@@ -171,7 +171,8 @@ class FaultPlan:
         params = [p for _, p in strategy.model.named_parameters()]
         param = params[int(self.rng.integers(len(params)))]
         flat = param.data.reshape(-1)
-        flat[int(self.rng.integers(flat.size))] = np.nan
+        # corrupting the live parameter is this fault's entire purpose
+        flat[int(self.rng.integers(flat.size))] = np.nan  # repro: noqa[RA601]
 
     # ------------------------------------------------------------------ #
     # firing

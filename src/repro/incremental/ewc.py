@@ -23,6 +23,7 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..models.base import MSRModel, UserState
+from ..sanitize import capture as _capture
 from .strategy import IncrementalStrategy, TrainConfig, UserPayload, build_payloads
 
 
@@ -44,17 +45,17 @@ class EWC(IncrementalStrategy):
     # ------------------------------------------------------------------ #
     def extra_state(self):
         state = super().extra_state()
-        for name, arr in self.fisher.items():
+        for name, arr in sorted(self.fisher.items()):
             state[f"fisher/{name}"] = arr
-        for name, arr in self.anchors.items():
+        for name, arr in sorted(self.anchors.items()):
             state[f"anchor/{name}"] = arr
         return state
 
     def load_extra_state(self, arrays):
         arrays = dict(arrays)
-        fisher = {k[len("fisher/"):]: arrays.pop(k).copy()
+        fisher = {k[len("fisher/"):]: _capture(arrays.pop(k).copy())
                   for k in list(arrays) if k.startswith("fisher/")}
-        anchors = {k[len("anchor/"):]: arrays.pop(k).copy()
+        anchors = {k[len("anchor/"):]: _capture(arrays.pop(k).copy())
                    for k in list(arrays) if k.startswith("anchor/")}
         super().load_extra_state(arrays)
         # a pre-extra-state (v1) checkpoint legitimately has neither —
@@ -94,13 +95,16 @@ class EWC(IncrementalStrategy):
             count += 1
         if count == 0:
             return
-        for name in accum:
+        # sorted: the reduction order of this dict is part of the
+        # determinism contract (RA7xx), not an accident of insertion order
+        for name in sorted(accum):
             new = accum[name] / count
             if name in self.fisher:  # running average across spans
-                self.fisher[name] = 0.5 * (self.fisher[name] + new)
+                self.fisher[name] = _capture(0.5 * (self.fisher[name] + new))
             else:
-                self.fisher[name] = new
-        self.anchors = self.model.state_dict()
+                self.fisher[name] = _capture(new)
+        self.anchors = {name: _capture(arr)
+                        for name, arr in sorted(self.model.state_dict().items())}
 
     def _penalty(self) -> Optional[Tensor]:
         """The EWC quadratic penalty over the shared parameters."""

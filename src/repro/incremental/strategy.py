@@ -32,6 +32,7 @@ from ..faults import fire as _fault_probe
 from ..models.base import MSRModel, UserState
 from ..nn import Adam, clip_grad_norm
 from ..obs import trace as obs
+from ..sanitize import capture as _capture
 
 
 @dataclass
@@ -354,7 +355,7 @@ class IncrementalStrategy:
         clip_grad_norm(opt.params, self.config.grad_clip)
         opt.step()
         self.model.item_emb.zero_padding_row()
-        state.interests = interests.data.copy()
+        state.interests = _capture(interests.data.copy())
 
     def _train_group(
         self,
@@ -429,7 +430,7 @@ class IncrementalStrategy:
         for b, (state, _) in enumerate(jobs):
             source = per_user[b].data if per_user is not None else (
                 interests.data[b, :ks[b]])
-            state.interests = source.copy()
+            state.interests = _capture(source.copy())
 
     def _payload_val_score(self, payloads: Sequence[UserPayload]) -> float:
         """Mean HR@20 of each payload's last target against the catalog —
@@ -503,4 +504,4 @@ class IncrementalStrategy:
                 interests = self.model.compute_interests(state, items)
                 if interests_hook is not None:
                     interests = interests_hook(state, interests)
-            state.interests = interests.data.copy()
+            state.interests = _capture(interests.data.copy())

@@ -40,6 +40,7 @@ from ..autograd import Tensor, concat, stack
 from ..autograd.ops import log_softmax, softmax, squash
 from ..contracts import shape_contract
 from ..obs import trace as obs
+from ..sanitize import capture as _capture
 from .base import MSRModel, UserState
 from .batched import _masked_softmax_over_items
 from .comirec_dr import ComiRecDR
@@ -307,4 +308,4 @@ def batched_snapshot_interests(
             per_user = interests[b, :ks[b]]
             if interests_hook is not None:
                 per_user = interests_hook(state, per_user)
-            state.interests = per_user.data.copy()
+            state.interests = _capture(per_user.data.copy())

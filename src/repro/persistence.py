@@ -54,6 +54,7 @@ from . import faults
 from .incremental.strategy import IncrementalStrategy
 from .nn import Parameter
 from .obs import trace as obs
+from .sanitize import capture as _capture
 from .obs.log import get_logger
 
 PathLike = Union[str, Path]
@@ -164,10 +165,14 @@ def _collect_arrays(strategy: IncrementalStrategy) -> Dict[str, np.ndarray]:
     arrays: Dict[str, np.ndarray] = {}
     for name, param in strategy.model.named_parameters():
         arrays[f"param/{name}"] = param.data
-    for user, state in strategy.states.items():
-        arrays[f"user/{user}/interests"] = state.interests
-        arrays[f"user/{user}/prev_interests"] = state.prev_interests
-        arrays[f"user/{user}/created_span"] = state.created_span
+    # sorted: the archive member order is part of the determinism
+    # contract (same state -> byte-identical layout), not insertion luck.
+    # Snapshot-style members are frozen at this capture boundary; live
+    # trainables (param/, sa_weights) stay writable for the optimizer.
+    for user, state in sorted(strategy.states.items()):
+        arrays[f"user/{user}/interests"] = _capture(state.interests)
+        arrays[f"user/{user}/prev_interests"] = _capture(state.prev_interests)
+        arrays[f"user/{user}/created_span"] = _capture(state.created_span)
         arrays[f"user/{user}/n_existing"] = np.array([state.n_existing])
         # NID's once-per-span guard: replayed-but-inactive users carry it
         # across span boundaries, so a resume must restore it too
@@ -176,8 +181,8 @@ def _collect_arrays(strategy: IncrementalStrategy) -> Dict[str, np.ndarray]:
             arrays[f"user/{user}/sa_weights"] = state.sa_weights.data
     # strategy-specific state beyond the base contract: replay pools,
     # Fisher estimates, diagnostic logs (see IncrementalStrategy.extra_state)
-    for name, arr in strategy.extra_state().items():
-        arrays[f"extra/{name}"] = np.asarray(arr)
+    for name, arr in sorted(strategy.extra_state().items()):
+        arrays[f"extra/{name}"] = _capture(np.asarray(arr))
     return arrays
 
 
@@ -405,9 +410,10 @@ def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
         state = strategy.states.get(user)
         if state is None:
             continue  # counted above; strict mode already raised
-        state.interests = arrays[f"user/{user}/interests"].copy()
-        state.prev_interests = arrays[f"user/{user}/prev_interests"].copy()
-        state.created_span = arrays[f"user/{user}/created_span"].copy()
+        state.interests = _capture(arrays[f"user/{user}/interests"].copy())
+        state.prev_interests = _capture(
+            arrays[f"user/{user}/prev_interests"].copy())
+        state.created_span = _capture(arrays[f"user/{user}/created_span"].copy())
         state.n_existing = int(arrays[f"user/{user}/n_existing"][0])
         expanded_key = f"user/{user}/expanded"
         if expanded_key in arrays:  # absent from older archives

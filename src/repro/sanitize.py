@@ -1,0 +1,147 @@
+"""Runtime write-guard sanitizer for captured numpy buffers.
+
+The repo's bit-equivalence guarantees (crash/resume identity, per-user vs
+micro-batched gradient identity, trace fingerprints) assume that arrays
+captured at snapshot/checkpoint boundaries are never mutated through an
+alias afterwards, and that autograd inputs stay frozen between forward
+and backward.  Nothing in numpy enforces either property — an aliased
+write corrupts results silently.
+
+This module is the runtime half of the RA6xx aliasing rules
+(``docs/ANALYSIS.md``).  Mirroring :mod:`repro.contracts`, it is opt-in
+and free when off:
+
+* ``REPRO_SANITIZE=1`` (environment) or :func:`enforce` /
+  :func:`enforced` turn checking on;
+* :func:`capture` marks an array as a capture boundary by setting
+  ``writeable=False``, so any later aliased write raises ``ValueError``
+  **at the faulting line** (a no-op passthrough when checking is off);
+* :func:`buffer_stamp` fingerprints a buffer so ``Tensor.backward`` can
+  detect mutation-since-forward and raise :class:`SanitizeViolation`.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import sanitize
+>>> with sanitize.enforced():
+...     snap = sanitize.capture(np.zeros(3))
+...     snap[0] = 1.0            # doctest: +SKIP
+ValueError: assignment destination is read-only
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SanitizeViolation",
+    "enforce",
+    "checking_enabled",
+    "enforced",
+    "capture",
+    "release",
+    "is_frozen",
+    "buffer_stamp",
+]
+
+_TRUTHY = ("1", "true", "yes", "on")
+_enabled = os.environ.get("REPRO_SANITIZE", "").strip().lower() in _TRUTHY
+
+#: arrays up to this many elements are stamped over their full contents;
+#: larger buffers (embedding tables) use a head/tail checksum plus a
+#: strided sample so per-op stamping stays O(1)-ish in table size
+_FULL_STAMP_ELEMENTS = 65536
+
+
+class SanitizeViolation(RuntimeError):
+    """A guarded buffer was mutated behind the sanitizer's back."""
+
+
+def enforce(on: bool = True) -> bool:
+    """Globally enable (or disable) write-guard checking.
+
+    Returns the previous setting so callers can restore it.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+def checking_enabled() -> bool:
+    """Whether capture boundaries freeze arrays and backward verifies stamps."""
+    return _enabled
+
+
+@contextmanager
+def enforced(on: bool = True) -> Iterator[None]:
+    """Context manager: enforce within the block, restore the old setting after."""
+    previous = enforce(on)
+    try:
+        yield
+    finally:
+        enforce(previous)
+
+
+def capture(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` as captured: freeze it against in-place writes.
+
+    Call sites hand in the array they are about to store in long-lived
+    state (an interest snapshot, a checkpoint payload, a replay-pool
+    encoding) and store the return value.  When checking is off this is
+    an identity no-op; when on, the array's ``writeable`` flag is
+    cleared, so any later write through it — or through a view of it —
+    raises ``ValueError`` at the offending line.
+
+    Capture freezes the object it is given; callers own the convention
+    of passing a fresh ``.copy()`` when the source buffer must stay
+    writable (live parameters, optimizer moments).
+    """
+    if not _enabled:
+        return array
+    if isinstance(array, np.ndarray):
+        array.flags.writeable = False
+    return array
+
+
+def release(array: np.ndarray) -> np.ndarray:
+    """Undo :func:`capture` on an array (test hooks, sanctioned rewrites).
+
+    Arrays whose base buffer is itself read-only stay frozen — numpy
+    refuses to re-enable writes through such views, and so do we.
+    """
+    if isinstance(array, np.ndarray):
+        try:
+            array.flags.writeable = True
+        except ValueError:
+            pass
+    return array
+
+
+def is_frozen(array: np.ndarray) -> bool:
+    """Whether the array currently rejects in-place writes."""
+    return isinstance(array, np.ndarray) and not array.flags.writeable
+
+
+def buffer_stamp(array: np.ndarray) -> Tuple:
+    """A cheap content fingerprint used to detect mutation-since-forward.
+
+    Stable under identical contents; any in-place write an autograd
+    consumer could observe changes it with high probability.  Small
+    buffers are checksummed in full; large ones (embedding tables) by
+    head/tail checksum plus a strided sample, keeping the per-op cost of
+    enforcement bounded.
+    """
+    a = np.ascontiguousarray(array)
+    if a.size <= _FULL_STAMP_ELEMENTS:
+        return (a.shape, zlib.crc32(a.tobytes()))
+    flat = a.reshape(-1)
+    crc = zlib.crc32(flat[:4096].tobytes())
+    crc = zlib.crc32(flat[-4096:].tobytes(), crc)
+    stride = max(1, flat.size // 1024)
+    return (a.shape, crc, float(flat[::stride].sum()))

@@ -1,0 +1,8 @@
+"""RA601 firing: in-place writes through aliases of autograd buffers."""
+
+
+def corrupt(tensor, idx):
+    view = tensor.data[0]        # row view aliases the live buffer
+    view[:] = 0.0                # mutates tensor.data through the alias
+    flat = tensor.grad.reshape(-1)
+    flat[idx] += 1.0             # same story via a reshape view

@@ -1,0 +1,8 @@
+"""RA601 silent: mutate detached copies, read through views freely."""
+
+
+def inspect(tensor, idx):
+    row = tensor.data[0].copy()  # the copy breaks the alias
+    row[:] = 0.0
+    top = tensor.data[0]         # a view is fine as long as it is read-only
+    return row, float(top.sum())

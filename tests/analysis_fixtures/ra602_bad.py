@@ -1,0 +1,10 @@
+"""RA602 firing: mutating method calls on a buffer alias."""
+
+import numpy as np
+
+
+def scramble(tensor, other):
+    flat = tensor.data.reshape(-1)
+    flat.fill(0.0)                   # writes through the view
+    cols = other.data.T
+    np.copyto(cols, 1.0)             # np.copyto mutates its first arg

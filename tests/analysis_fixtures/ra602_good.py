@@ -1,0 +1,11 @@
+"""RA602 silent: mutating methods on detached copies only."""
+
+import numpy as np
+
+
+def rebuild(tensor, other):
+    flat = tensor.data.copy().reshape(-1)
+    flat.fill(0.0)
+    cols = np.array(other.data.T)    # np.array copies by default
+    np.copyto(cols, 1.0)
+    return flat, cols

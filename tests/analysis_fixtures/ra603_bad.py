@@ -1,0 +1,7 @@
+"""RA603 firing: storing a live-buffer alias on an object attribute."""
+
+
+class Recorder:
+    def remember(self, tensor):
+        self.kept = tensor.data          # alias outlives this frame
+        self.rows = tensor.data[:2]      # so does a slice of it

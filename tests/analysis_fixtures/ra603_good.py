@@ -1,0 +1,7 @@
+"""RA603 silent: stored state is detached before it escapes."""
+
+
+class Recorder:
+    def remember(self, tensor):
+        self.kept = tensor.data.copy()
+        self.rows = tensor.data[:2].copy()

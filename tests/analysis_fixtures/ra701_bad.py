@@ -1,0 +1,8 @@
+"""RA701 firing: numeric accumulation over unordered set iteration."""
+
+
+def total_weight(weights):
+    total = 0.0
+    for key in set(weights):         # set order varies across runs
+        total += weights[key]
+    return total

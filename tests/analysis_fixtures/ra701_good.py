@@ -1,0 +1,8 @@
+"""RA701 silent: sort the set before the order can leak into math."""
+
+
+def total_weight(weights):
+    total = 0.0
+    for key in sorted(set(weights)):
+        total += weights[key]
+    return total

@@ -1,0 +1,7 @@
+"""RA702 firing: consuming directory listings in arrival order."""
+
+import os
+
+
+def manifest(directory):
+    return [name for name in os.listdir(directory) if name.endswith(".npz")]

@@ -1,0 +1,8 @@
+"""RA702 silent: listings are sorted before anything observes order."""
+
+import os
+
+
+def manifest(directory):
+    return [name for name in sorted(os.listdir(directory))
+            if name.endswith(".npz")]

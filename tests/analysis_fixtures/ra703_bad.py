@@ -1,0 +1,7 @@
+"""RA703 firing: run-varying inputs inside a fingerprint function."""
+
+import time
+
+
+def config_fingerprint(config):
+    return f"{config}-{time.time()}-{id(config)}"

@@ -1,0 +1,8 @@
+"""RA703 silent: fingerprints derive only from the hashed content."""
+
+import hashlib
+
+
+def config_fingerprint(config):
+    blob = repr(sorted(config.items())).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]

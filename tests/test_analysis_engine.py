@@ -109,14 +109,15 @@ class TestBaseline:
 
     def test_committed_baseline_covers_only_justified_test_code(self):
         # src/ must stay clean on its own; the only grandfathered
-        # findings are deliberate Tensor-buffer mutations in test setup
+        # findings are deliberate Tensor-buffer mutations and short-lived
+        # buffer aliases in test setup
         repo_root = Path(__file__).resolve().parents[1]
         payload = json.loads(
             (repo_root / "analysis-baseline.json").read_text())
         assert payload["findings"], "expected grandfathered test findings"
         for entry in payload["findings"]:
             assert entry["path"].startswith("tests/"), entry
-            assert entry["rule"] == "RA101", entry
+            assert entry["rule"] in ("RA101", "RA603"), entry
             assert entry.get("justification"), entry
 
 

@@ -74,7 +74,7 @@ DIRTY_LINT = """\
 class TestLintIngestion:
     def test_parse_clean_report(self):
         assert summarize.parse_lint(CLEAN_LINT) == (
-            "static analysis", "clean (77 files)")
+            "static analysis", "clean (77 files; RA6xx 0, RA7xx 0)")
 
     def test_parse_dirty_report(self):
         title, cell = summarize.parse_lint(DIRTY_LINT)
@@ -96,7 +96,7 @@ class TestLintIngestion:
                                "--lint", str(lint)]) == 0
         out = capsys.readouterr().out
         assert "Table III" in out
-        assert "clean (77 files)" in out
+        assert "clean (77 files; RA6xx 0, RA7xx 0)" in out
 
     def test_main_with_missing_lint_file(self, tmp_path):
         bench = tmp_path / "bench.txt"
@@ -318,4 +318,55 @@ class TestLintIngestionEndToEnd:
         bench.write_text(SAMPLE)
         assert summarize.main(["summarize.py", str(bench),
                                "--lint", str(lint)]) == 0
-        assert "clean (1 files)" in capsys.readouterr().out
+        assert "clean (1 files; RA6xx 0, RA7xx 0)" in capsys.readouterr().out
+
+
+SANITIZE_REPORT = """{
+ "version": 1, "tool": "repro.sanitize",
+ "capture_ns": 44.0, "flag_test_ns": 19.0,
+ "capture_calls": 360, "graph_builds": 11946,
+ "run_off_s": 0.22, "run_enforced_s": 0.29,
+ "disabled_overhead_pct": 0.11, "enforced_overhead_pct": 28.9,
+ "budget_pct": 2.0}
+"""
+
+
+class TestSanitizeIngestion:
+    def test_parse_report_rows(self):
+        rows = summarize.parse_sanitize(SANITIZE_REPORT)
+        labels = [label for label, _ in rows]
+        assert labels == ["disabled guards", "enforced run"]
+        assert "0.110% of run (budget 2%)" in rows[0][1]
+        assert "+28.9% wall clock" in rows[1][1]
+
+    def test_wrong_tool_rejected(self):
+        with pytest.raises(ValueError):
+            summarize.parse_sanitize('{"tool": "repro.obs"}')
+
+    def test_main_with_sanitize_flag(self, tmp_path, capsys):
+        bench = tmp_path / "bench.txt"
+        bench.write_text(SAMPLE)
+        report = tmp_path / "BENCH_sanitize.json"
+        report.write_text(SANITIZE_REPORT)
+        assert summarize.main(["summarize.py", str(bench),
+                               "--sanitize", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "| sanitize: disabled guards |" in out
+        assert "| sanitize: enforced run |" in out
+
+    def test_main_sanitize_flag_without_value(self, tmp_path):
+        bench = tmp_path / "bench.txt"
+        bench.write_text(SAMPLE)
+        assert summarize.main(
+            ["summarize.py", str(bench), "--sanitize"]) == 2
+
+
+class TestRuleFamilyRollup:
+    def test_families_grouped_by_hundreds(self):
+        families = summarize._rule_family_counts(
+            {"RA101": 2, "RA601": 1, "RA603": 4, "RA702": 3})
+        assert families == {"RA1xx": 2, "RA6xx": 5, "RA7xx": 3}
+
+    def test_dirty_report_keeps_tracked_families_visible(self):
+        _, cell = summarize.parse_lint(DIRTY_LINT)
+        assert "RA6xx 0, RA7xx 0" in cell

@@ -214,7 +214,7 @@ class TestResumeSafety:
             first = run_strategy(build(tiny_split), tiny_split, "tiny",
                                  "ComiRec-DR", checkpoint_dir=tmp_path)
         assert first.incidents  # the aborted run left an incident behind
-        for ckpt in tmp_path.glob("span-*.npz"):
+        for ckpt in sorted(tmp_path.glob("span-*.npz")):
             flip_one_byte(ckpt, rng=np.random.default_rng(1))
 
         result = run_strategy(build(tiny_split), tiny_split, "tiny",

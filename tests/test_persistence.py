@@ -412,7 +412,7 @@ class TestIOFaults:
                 save_checkpoint(strategy, path)
 
         assert path.read_bytes() == before
-        assert not list(tmp_path.glob("*.tmp"))  # no staging leftovers
+        assert not sorted(tmp_path.glob("*.tmp"))  # no staging leftovers
         verify_checkpoint(path)
 
     def test_crash_during_write_leaves_previous_checkpoint_intact(
@@ -427,7 +427,7 @@ class TestIOFaults:
                 save_checkpoint(strategy, path)  # dies before os.replace
 
         assert path.read_bytes() == before
-        assert not list(tmp_path.glob("*.tmp"))  # no staging leftovers
+        assert not sorted(tmp_path.glob("*.tmp"))  # no staging leftovers
         verify_checkpoint(path)
 
     def test_concurrent_writers_do_not_clobber_each_others_temp(

@@ -1,0 +1,290 @@
+"""Tests for the runtime write-guard sanitizer (:mod:`repro.sanitize`).
+
+Two layers of proof:
+
+* API/unit tests for the enforcement toggles, the capture/release
+  freeze, and the tensor buffer-stamp guard inside autograd.
+* A seeded mutant harness in the :mod:`repro.faults` spirit: for each
+  guarded capture boundary, run the real training/persistence code
+  under enforcement, then inject one aliased in-place write at that
+  boundary and assert it raises *at the faulting line* — while the
+  legal suite stays green under the same enforcement.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sanitize
+from repro.autograd import Tensor
+from repro.experiments import make_strategy
+from repro.incremental import TrainConfig
+from repro.persistence import load_checkpoint, save_checkpoint
+from repro.sanitize import SanitizeViolation
+
+
+@pytest.fixture()
+def fast_config():
+    return TrainConfig(epochs_pretrain=2, epochs_incremental=1,
+                       num_negatives=4, seed=0)
+
+
+def build(tiny_split, config, name="FT", model="ComiRec-DR", **extra):
+    kwargs = {"c1": 0.2} if name == "IMSR" else {}
+    kwargs.update(extra)
+    return make_strategy(name, model, tiny_split, config,
+                         model_kwargs={"dim": 10, "num_interests": 2},
+                         strategy_kwargs=kwargs)
+
+
+@pytest.fixture()
+def enforced():
+    with sanitize.enforced():
+        yield
+
+
+# ---------------------------------------------------------------------- #
+# API
+# ---------------------------------------------------------------------- #
+class TestToggles:
+    def test_enforce_returns_previous_and_restores(self):
+        before = sanitize.checking_enabled()
+        prev = sanitize.enforce(True)
+        assert prev == before
+        assert sanitize.checking_enabled()
+        sanitize.enforce(prev)
+        assert sanitize.checking_enabled() == before
+
+    def test_enforced_context_restores_on_exit(self):
+        before = sanitize.checking_enabled()
+        with sanitize.enforced():
+            assert sanitize.checking_enabled()
+        assert sanitize.checking_enabled() == before
+
+    def test_capture_is_passthrough_when_disabled(self):
+        with sanitize.enforced(False):
+            arr = np.zeros(3)
+            assert sanitize.capture(arr) is arr
+            assert not sanitize.is_frozen(arr)
+            arr[0] = 1.0  # still writable
+
+    def test_capture_freezes_when_enabled(self, enforced):
+        arr = np.zeros(3)
+        assert sanitize.capture(arr) is arr
+        assert sanitize.is_frozen(arr)
+        with pytest.raises(ValueError):
+            arr[0] = 1.0
+
+    def test_views_of_frozen_arrays_are_read_only(self, enforced):
+        arr = sanitize.capture(np.zeros((2, 3)))
+        view = arr.reshape(-1)
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_release_reenables_writes(self, enforced):
+        arr = sanitize.capture(np.zeros(3))
+        sanitize.release(arr)
+        arr[0] = 1.0  # does not raise
+        assert not sanitize.is_frozen(arr)
+
+    def test_capture_ignores_non_arrays(self, enforced):
+        assert sanitize.capture(7) == 7
+        assert sanitize.capture(None) is None
+
+
+class TestBufferStamp:
+    def test_stable_across_reads(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        assert sanitize.buffer_stamp(arr) == sanitize.buffer_stamp(arr)
+
+    def test_detects_single_element_change(self):
+        arr = np.arange(12.0)
+        before = sanitize.buffer_stamp(arr)
+        arr[7] += 1e-9
+        assert sanitize.buffer_stamp(arr) != before
+
+    def test_large_array_stamp_samples_the_interior(self):
+        arr = np.zeros(200_000)
+        before = sanitize.buffer_stamp(arr)
+        stride = max(1, arr.size // 1024)
+        # beyond the head/tail crc windows, on the sampled lattice
+        arr[stride * 500] = 3.0
+        assert sanitize.buffer_stamp(arr) != before
+
+    def test_shape_is_part_of_the_stamp(self):
+        arr = np.arange(12.0)
+        assert (sanitize.buffer_stamp(arr.reshape(3, 4))
+                != sanitize.buffer_stamp(arr.reshape(4, 3)))
+
+
+# ---------------------------------------------------------------------- #
+# autograd guard
+# ---------------------------------------------------------------------- #
+class TestTensorGuard:
+    def test_mutation_between_forward_and_backward_raises(self, enforced):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        loss = (t * 3.0).sum()
+        # the illegal write is this test's subject
+        t.data[0, 0] = 42.0  # repro: noqa[RA101]
+        with pytest.raises(SanitizeViolation):
+            loss.backward()
+
+    def test_legal_forward_backward_is_silent(self, enforced):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        loss = (t * 3.0).sum()
+        loss.backward()
+        assert np.allclose(t.grad, 3.0)
+
+    def test_backward_clears_stamps_for_next_step(self, enforced):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2.0).sum().backward()
+        # optimizer-style in-place update between steps is legal
+        t.data -= 0.1 * t.grad  # repro: noqa[RA101]
+        t.zero_grad()
+        (t * 2.0).sum().backward()
+        assert np.allclose(t.grad, 2.0)
+
+    def test_disabled_mode_does_not_stamp(self):
+        with sanitize.enforced(False):
+            t = Tensor(np.ones(3), requires_grad=True)
+            loss = (t * 2.0).sum()
+            t.data[0] = 9.0  # repro: noqa[RA101]
+            loss.backward()  # no guard, no raise
+
+
+# ---------------------------------------------------------------------- #
+# mutant harness: one aliased write after each capture boundary
+# ---------------------------------------------------------------------- #
+def _any_user(strategy):
+    return sorted(strategy.states)[0]
+
+
+def _mutate_train_user_snapshot(tiny_split, config, tmp_path):
+    """B1: per-user interest snapshot written by ``_train_user``."""
+    strategy = build(tiny_split, config, name="FT")
+    strategy.pretrain()
+    state = strategy.states[_any_user(strategy)]
+    state.interests[0, 0] = 99.0
+
+
+def _mutate_batched_snapshot(tiny_split, config, tmp_path):
+    """B2: vectorized snapshot from ``batched_snapshot_interests``."""
+    cfg = TrainConfig(epochs_pretrain=2, epochs_incremental=1,
+                      num_negatives=4, seed=0, users_per_batch=4,
+                      batched_snapshots=True)
+    strategy = build(tiny_split, cfg, name="FT")
+    strategy.pretrain()
+    state = strategy.states[_any_user(strategy)]
+    state.interests[0, 0] = 99.0
+
+
+def _mutate_begin_span_teacher(tiny_split, config, tmp_path):
+    """B3: the ``prev_interests`` teacher captured at the span boundary."""
+    strategy = build(tiny_split, config, name="IMSR")
+    strategy.pretrain()
+    strategy.train_span(1)
+    state = strategy.states[_any_user(strategy)]
+    state.prev_interests[0, 0] = 99.0
+
+
+def _mutate_ewc_fisher(tiny_split, config, tmp_path):
+    """B4: EWC's Fisher estimate captured after each span."""
+    strategy = build(tiny_split, config, name="EWC")
+    strategy.pretrain()
+    strategy.train_span(1)
+    name = sorted(strategy.fisher)[0]
+    strategy.fisher[name][...] = 0.0
+
+
+def _mutate_ewc_anchors(tiny_split, config, tmp_path):
+    """B4b: EWC's parameter anchors captured alongside the Fisher."""
+    strategy = build(tiny_split, config, name="EWC")
+    strategy.pretrain()
+    strategy.train_span(1)
+    name = sorted(strategy.anchors)[0]
+    strategy.anchors[name] += 1.0
+
+
+def _mutate_checkpoint_manifest(tiny_split, config, tmp_path):
+    """B5: arrays collected into a checkpoint manifest."""
+    strategy = build(tiny_split, config, name="FT")
+    strategy.pretrain()
+    save_checkpoint(strategy, tmp_path / "ckpt.npz")
+    state = strategy.states[_any_user(strategy)]
+    state.created_span[0] = 7
+
+
+def _mutate_restored_state(tiny_split, config, tmp_path):
+    """B6: user state restored by ``load_checkpoint``."""
+    strategy = build(tiny_split, config, name="FT")
+    strategy.pretrain()
+    path = save_checkpoint(strategy, tmp_path / "ckpt.npz")
+    fresh = build(tiny_split, config, name="FT")
+    load_checkpoint(fresh, path)
+    state = fresh.states[_any_user(fresh)]
+    state.interests[0, 0] = 99.0
+
+
+def _mutate_train_group_snapshot(tiny_split, config, tmp_path):
+    """B7: the snapshot written by the micro-batched ``_train_group``."""
+    cfg = TrainConfig(epochs_pretrain=2, epochs_incremental=1,
+                      num_negatives=4, seed=0, users_per_batch=4)
+    strategy = build(tiny_split, cfg, name="FT")
+    strategy.pretrain()
+    state = strategy.states[_any_user(strategy)]
+    state.interests[0, 0] = 99.0
+
+
+MUTANTS = {
+    "train-user-snapshot": _mutate_train_user_snapshot,
+    "batched-snapshot": _mutate_batched_snapshot,
+    "begin-span-teacher": _mutate_begin_span_teacher,
+    "ewc-fisher": _mutate_ewc_fisher,
+    "ewc-anchors": _mutate_ewc_anchors,
+    "checkpoint-manifest": _mutate_checkpoint_manifest,
+    "restored-state": _mutate_restored_state,
+    "train-group-snapshot": _mutate_train_group_snapshot,
+}
+
+
+class TestMutantHarness:
+    def test_covers_at_least_five_boundaries(self):
+        assert len(MUTANTS) >= 5
+
+    @pytest.mark.parametrize("boundary", sorted(MUTANTS))
+    def test_aliased_write_raises_at_boundary(self, boundary, tiny_split,
+                                              fast_config, tmp_path,
+                                              enforced):
+        with pytest.raises(ValueError, match="read-only"):
+            MUTANTS[boundary](tiny_split, fast_config, tmp_path)
+
+    @pytest.mark.parametrize("boundary", sorted(MUTANTS))
+    def test_same_write_passes_unenforced(self, boundary, tiny_split,
+                                          fast_config, tmp_path):
+        with sanitize.enforced(False):
+            MUTANTS[boundary](tiny_split, fast_config, tmp_path)
+
+
+class TestLegalSuiteUnderEnforcement:
+    def test_full_span_loop_with_checkpointing(self, tiny_split, fast_config,
+                                               tmp_path, enforced):
+        strategy = build(tiny_split, fast_config, name="IMSR")
+        strategy.pretrain()
+        for t in range(1, min(3, len(tiny_split.spans) + 1)):
+            strategy.train_span(t)
+            save_checkpoint(strategy, tmp_path / f"span-{t}.npz", span=t)
+        fresh = build(tiny_split, fast_config, name="IMSR")
+        load_checkpoint(fresh, tmp_path / "span-1.npz")
+        user = _any_user(fresh)
+        assert fresh.states[user].interests.shape[1] == 10
+
+    def test_enforcement_does_not_change_results(self, tiny_split,
+                                                 fast_config):
+        with sanitize.enforced(False):
+            plain = build(tiny_split, fast_config, name="FT")
+            plain.pretrain()
+        with sanitize.enforced():
+            guarded = build(tiny_split, fast_config, name="FT")
+            guarded.pretrain()
+        for (name, a), (_, b) in zip(plain.model.named_parameters(),
+                                     guarded.model.named_parameters()):
+            assert np.allclose(a.data, b.data), name

@@ -89,7 +89,7 @@ class TestRoutingOptions:
             model = ComiRecDR(tiny_split.num_items, dim=10, num_interests=3,
                               seed=0, routing_normalize=normalize)
             state = model.init_user_state(0)
-            outs[normalize] = model.compute_interests(state, seq).data
+            outs[normalize] = model.compute_interests(state, seq).data.copy()
         assert not np.allclose(outs["items"], outs["capsules"])
 
     def test_bad_normalization_rejected(self, tiny_split):

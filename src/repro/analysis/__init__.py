@@ -6,7 +6,13 @@ draws from the global ``np.random`` state corrupts every IMSR result
 *silently*.  This package enforces those contracts mechanically — an
 AST rule engine with per-rule ids/severities, ``# repro: noqa[RULE]``
 inline suppression, a committed baseline for grandfathered findings,
-text/JSON reporters, and deterministic exit codes.
+text/JSON/GitHub/SARIF reporters, and deterministic exit codes.
+
+Intra-procedural families (RA1xx–RA7xx) run per module; the
+interprocedural family (RA80x) runs over a whole-project call graph
+with fixed-point function summaries (:mod:`repro.analysis.callgraph`,
+:mod:`repro.analysis.summaries`), cached to a deterministic sidecar so
+warm re-lints skip parsing entirely.
 
 Run it as ``python -m repro.analysis src``, ``repro lint``, or the
 ``repro-lint`` console script; the rule catalogue lives in
@@ -14,39 +20,58 @@ Run it as ``python -m repro.analysis src``, ``repro lint``, or the
 """
 
 from .baseline import Baseline, BaselineEntry, discover_baseline
+from .callgraph import ModuleFacts, ProjectIndex, extract_module_facts
 from .core import (
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
     RULE_REGISTRY,
     all_rules,
     register,
 )
 from .engine import AnalysisReport, analyze_paths, analyze_source, iter_python_files
-from .reporters import render_github, render_json, render_text
+from .reporters import render_github, render_json, render_sarif, render_text
+from .summaries import (
+    FunctionSummary,
+    ProjectAnalysis,
+    SummaryCache,
+    analyze_project,
+)
 from . import rules  # registers the rule set on import
 from . import shapes  # registers the RA5xx shape-contract family
 from . import aliasing  # registers the RA6xx aliasing family
 from . import determinism  # registers the RA7xx determinism family
+from . import interprocedural  # registers the RA80x interprocedural family
 
 __all__ = [
     "AnalysisReport",
     "Baseline",
     "BaselineEntry",
     "Finding",
+    "FunctionSummary",
     "ModuleContext",
+    "ModuleFacts",
+    "ProjectAnalysis",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "RULE_REGISTRY",
+    "SummaryCache",
     "aliasing",
     "all_rules",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "determinism",
     "discover_baseline",
+    "extract_module_facts",
+    "interprocedural",
     "iter_python_files",
     "register",
     "render_github",
     "render_json",
+    "render_sarif",
     "render_text",
     "rules",
     "shapes",

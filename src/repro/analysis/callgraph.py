@@ -1,0 +1,727 @@
+"""Whole-project call graph: per-module fact extraction and name resolution.
+
+Every rule family so far (RA1xx–RA7xx) reasons inside one function
+body.  This module is the substrate for the interprocedural RA80x
+family: a single deterministic AST pass per module extracts
+**ModuleFacts** — the functions defined (module-level, methods, one
+level of nested helpers), the imports, the classes with their base
+classes and ``self.<attr> = ClassName(...)`` attribute types, and for
+each function an ordered **event stream** (binds, call sites with
+argument origins, in-place mutations, global-RNG draws, returns).
+
+The facts are designed to be:
+
+* **serializable** — they round-trip through JSON, so the summary cache
+  (:mod:`repro.analysis.summaries`) can key them on the file SHA and a
+  warm re-lint never re-parses unchanged modules;
+* **sufficient** — the fixed-point summary computation and all RA80x
+  findings are generated from facts alone, never from the AST, so a
+  cached tree and a freshly parsed tree produce byte-identical results.
+
+Name resolution (:class:`ProjectIndex`) is best-effort and documented:
+module-level functions, ``from x import y`` / ``import x as y`` chains
+(including one re-export hop through package ``__init__`` modules),
+``self.method`` with single-inheritance base walking, ``self.attr.method``
+through recorded attribute types, and ``obj.method`` where ``obj`` was
+bound to a visible class instantiation.  Anything else — higher-order
+values, ``getattr``, subscripted tables — is *unresolved*; summaries
+stay sound-but-incomplete there, and RA805 reports the one case where
+that incompleteness silently defeats the analysis (a call cycle
+forwarding parameters through a dynamic call).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .aliasing import _NP_VIEW_FUNCS, _VIEW_METHODS
+from .core import ModuleContext
+from .rules import GRAPH_BUILDING_CALLS, _NP_RANDOM_OK, dotted_name, is_buffer_access
+
+#: value-reference kinds carried by events (JSON-friendly lists):
+#:   ["name", n]    a local name, resolved against the replay environment
+#:   ["buffer", d]  may-alias of Tensor.data/.grad (d = display text)
+#:   ["frozen", d]  snapshot-style value (capture() result, snapshot-named
+#:                  attribute) that must never be mutated
+#:   ["call", k]    the result of this function's k-th call event
+ValueRef = Optional[List[Any]]
+
+#: names that mark a value (param, attribute) as a frozen snapshot:
+#: mutating it through a callee is the RA801 bug class
+SNAPSHOT_NAME_RE = re.compile(
+    r"(^|_)(snapshot|snapshots|snap|teacher|teachers|frozen|fisher|"
+    r"anchor|anchors|prev|captured)(_|$)",
+    re.IGNORECASE,
+)
+
+#: parameter names that declare a determinism intent: a function taking
+#: one is a "seeded entrypoint" for RA803
+RNG_PARAM_RE = re.compile(r"^(seed|rng|generator|random_state)$|_(seed|rng)$",
+                          re.IGNORECASE)
+
+#: np.random.Generator-constructing calls also mark a function as seeded
+_RNG_CONSTRUCTORS = frozenset({"default_rng", "Generator", "PCG64", "Philox",
+                               "MT19937", "SFC64", "SeedSequence"})
+
+#: stdlib ``random`` module functions that draw from (or reseed) the
+#: process-global Mersenne Twister
+_PY_RANDOM_DRAWS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "betavariate",
+    "expovariate", "lognormvariate", "paretovariate", "triangular",
+    "vonmisesvariate", "weibullvariate", "getrandbits", "randbytes", "seed",
+})
+
+#: receiver methods that end an alias chain with a fresh allocation
+_COPY_METHODS = frozenset({"copy", "astype", "tolist", "item", "tobytes"})
+
+#: ndarray methods that mutate their receiver in place (facts-level twin
+#: of the RA602 set)
+_MUTATING_METHODS = frozenset({"fill", "sort", "partition", "put", "itemset"})
+
+_NP_NAMES = ("np", "numpy")
+
+#: builtins whose calls are never treated as dynamic dispatch
+_BUILTIN_NAMES = frozenset({
+    "len", "sorted", "list", "tuple", "dict", "set", "frozenset", "sum",
+    "min", "max", "abs", "range", "enumerate", "zip", "map", "filter",
+    "print", "repr", "str", "int", "float", "bool", "isinstance", "getattr",
+    "hasattr", "setattr", "type", "super", "iter", "next", "round", "any",
+    "all", "id", "hash", "open", "vars", "dir", "format", "reversed",
+    "divmod", "pow", "slice", "bytes", "bytearray", "object", "Exception",
+    "ValueError", "TypeError", "KeyError", "RuntimeError", "AssertionError",
+})
+
+
+# --------------------------------------------------------------------- #
+# facts dataclasses
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the interprocedural layer knows about one function."""
+
+    qualname: str            # "f", "C.m", or "f.<locals>.g"
+    line: int
+    col: int
+    src: str                 # the def line, for finding fingerprints
+    params: List[str]        # positional-or-keyword names, in order
+    class_name: Optional[str] = None
+    is_method: bool = False
+    has_contract: bool = False
+    seeded: bool = False
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    local_funcs: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname, "line": self.line, "col": self.col,
+            "src": self.src, "params": self.params,
+            "class_name": self.class_name, "is_method": self.is_method,
+            "has_contract": self.has_contract, "seeded": self.seeded,
+            "events": self.events, "local_funcs": self.local_funcs,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FunctionFacts":
+        return cls(**raw)
+
+
+@dataclass
+class ClassFacts:
+    """Base classes, methods, and ``self.attr = Type(...)`` attribute types."""
+
+    name: str
+    bases: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "bases": self.bases,
+                "methods": self.methods, "attr_types": self.attr_types}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ClassFacts":
+        return cls(**raw)
+
+
+@dataclass
+class ModuleFacts:
+    """One module's contribution to the project call graph."""
+
+    module: str              # dotted module name (best effort)
+    path: str                # display path (repo-relative where possible)
+    is_package_init: bool = False
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionFacts] = field(default_factory=dict)
+    classes: Dict[str, ClassFacts] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "module": self.module, "path": self.path,
+            "is_package_init": self.is_package_init, "imports": self.imports,
+            "functions": {q: f.as_dict()
+                          for q, f in sorted(self.functions.items())},
+            "classes": {n: c.as_dict()
+                        for n, c in sorted(self.classes.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ModuleFacts":
+        return cls(
+            module=raw["module"], path=raw["path"],
+            is_package_init=raw.get("is_package_init", False),
+            imports=dict(raw.get("imports", {})),
+            functions={q: FunctionFacts.from_dict(f)
+                       for q, f in raw.get("functions", {}).items()},
+            classes={n: ClassFacts.from_dict(c)
+                     for n, c in raw.get("classes", {}).items()},
+        )
+
+
+# --------------------------------------------------------------------- #
+# extraction
+# --------------------------------------------------------------------- #
+
+
+def _has_contract_decorator(fn: ast.AST) -> bool:
+    for dec in getattr(fn, "decorator_list", ()):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None)
+        if name == "shape_contract":
+            return True
+    return False
+
+
+class _FunctionExtractor:
+    """One pass over a function body producing its ordered event stream."""
+
+    def __init__(self, ctx: ModuleContext, facts: FunctionFacts,
+                 module: "ModuleFacts", collector: "_ModuleExtractor"):
+        self.ctx = ctx
+        self.facts = facts
+        self.module = module
+        self.collector = collector
+        self.no_grad_depth = 0
+
+    # ------------------------------------------------------------- #
+    # event emission
+    # ------------------------------------------------------------- #
+    def _emit(self, event: Dict[str, Any]) -> int:
+        self.facts.events.append(event)
+        return len(self.facts.events) - 1
+
+    def _loc(self, node: ast.AST) -> Dict[str, Any]:
+        line = getattr(node, "lineno", self.facts.line)
+        return {"line": line, "col": getattr(node, "col_offset", 0),
+                "src": self.ctx.source_line(line)}
+
+    def _bind(self, name: str, val: ValueRef) -> None:
+        self._emit({"ev": "bind", "name": name, "val": val})
+
+    def _mut(self, val: ValueRef, how: str, node: ast.AST) -> None:
+        if val is None:
+            return
+        self._emit({"ev": "mut", "val": val, "how": how, **self._loc(node)})
+
+    def _rng(self, label: str, node: ast.AST) -> None:
+        directive = self.ctx.noqa_for_line(getattr(node, "lineno", 1))
+        suppressed = directive is not None and (
+            not directive or directive & {"RA201", "RA803"})
+        self._emit({"ev": "rng", "name": label, "suppressed": bool(suppressed),
+                    **self._loc(node)})
+
+    # ------------------------------------------------------------- #
+    # expressions: evaluate to a ValueRef, emitting nested events
+    # ------------------------------------------------------------- #
+    def _eval(self, node: Optional[ast.AST]) -> ValueRef:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return ["name", node.id]
+        if isinstance(node, ast.Attribute):
+            if node.attr in ("data", "grad"):
+                return ["buffer", f"'{dotted_name(node) or node.attr}'"]
+            if node.attr == "T":
+                return self._eval(node.value)
+            if is_buffer_access(node):
+                return ["buffer", f"'{dotted_name(node) or node.attr}'"]
+            if SNAPSHOT_NAME_RE.search(node.attr):
+                return ["frozen", f"'{dotted_name(node) or node.attr}'"]
+            self._eval(node.value)
+            return None
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice)
+            return self._eval(node.value)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) or self._eval(node.orelse)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Lambda):
+            return None  # deferred body: out of the may-call model
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return None
+        for child in ast.iter_child_nodes(node):
+            self._eval(child)
+        return None
+
+    def _call(self, node: ast.Call) -> ValueRef:
+        func = node.func
+        dn = dotted_name(func)
+
+        # numpy namespace: RNG draws, views, in-place writers — no edges
+        if dn:
+            parts = dn.split(".")
+            if parts[0] in _NP_NAMES:
+                if len(parts) >= 2 and parts[1] == "random":
+                    tail = parts[-1]
+                    if len(parts) == 3 and tail not in _NP_RANDOM_OK:
+                        self._eval_args(node)
+                        self._rng(dn, node)
+                        return None
+                    if tail in _RNG_CONSTRUCTORS:
+                        self.facts.seeded = True
+                        self._eval_args(node)
+                        return None
+                if parts[-1] == "copyto" and node.args:
+                    self._mut(self._eval(node.args[0]), "np.copyto", node)
+                    for arg in node.args[1:]:
+                        self._eval(arg)
+                    return None
+                if parts[-1] == "at" and node.args:
+                    self._mut(self._eval(node.args[0]), "ufunc.at", node)
+                    for arg in node.args[1:]:
+                        self._eval(arg)
+                    return None
+                if parts[-1] in _NP_VIEW_FUNCS and node.args:
+                    return self._eval(node.args[0])
+                self._eval_args(node, include_out=True)
+                return None
+            if (parts[0] == "random"
+                    and self.module.imports.get("random") == "random"
+                    and parts[-1] in _PY_RANDOM_DRAWS):
+                self._eval_args(node)
+                self._rng(dn, node)
+                return None
+            alias = self.module.imports.get(parts[0])
+            if alias == "random" and len(parts) == 2 \
+                    and parts[-1] in _PY_RANDOM_DRAWS:
+                self._eval_args(node)
+                self._rng(f"random.{parts[-1]}", node)
+                return None
+
+        if isinstance(func, ast.Name) and func.id in _RNG_CONSTRUCTORS:
+            self.facts.seeded = True
+            self._eval_args(node)
+            return None
+
+        # capture() freezes its argument: the result is a snapshot
+        terminal = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if terminal == "capture":
+            self._eval_args(node)
+            return ["frozen", "a capture()-frozen snapshot"]
+
+        if isinstance(func, ast.Attribute):
+            if func.attr in _VIEW_METHODS:
+                self._eval_args(node)
+                return self._eval(func.value)
+            if func.attr in _COPY_METHODS:
+                self._eval(func.value)
+                self._eval_args(node)
+                return None
+            if func.attr in _MUTATING_METHODS:
+                self._mut(self._eval(func.value), f".{func.attr}()", node)
+                self._eval_args(node)
+                return None
+
+        callee = self._callee_ref(func)
+        args = [self._eval(a) for a in node.args]
+        starargs = any(isinstance(a, ast.Starred) for a in node.args)
+        kwargs = {}
+        for kw in node.keywords:
+            ref = self._eval(kw.value)
+            if kw.arg == "out" and not is_buffer_access(kw.value):
+                self._mut(ref, "out=", node)
+            if kw.arg is not None:
+                kwargs[kw.arg] = ref
+        event = {
+            "ev": "call", "callee": callee, "args": args, "kwargs": kwargs,
+            "starargs": starargs, "no_grad": self.no_grad_depth > 0,
+            "graph": terminal in GRAPH_BUILDING_CALLS, "result": None,
+            **self._loc(node),
+        }
+        return ["call", self._emit(event)]
+
+    def _eval_args(self, node: ast.Call, include_out: bool = False) -> None:
+        for arg in node.args:
+            self._eval(arg)
+        for kw in node.keywords:
+            ref = self._eval(kw.value)
+            if include_out and kw.arg == "out" \
+                    and not is_buffer_access(kw.value):
+                self._mut(ref, "out=", node)
+
+    def _callee_ref(self, func: ast.AST) -> Dict[str, Any]:
+        if isinstance(func, ast.Name):
+            return {"kind": "name", "name": func.id}
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id == "self":
+                    return {"kind": "self", "method": func.attr}
+                return {"kind": "dotted",
+                        "name": f"{receiver.id}.{func.attr}",
+                        "obj": receiver.id, "method": func.attr}
+            if (isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"):
+                return {"kind": "selfattr", "attr": receiver.attr,
+                        "method": func.attr}
+            dn = dotted_name(func)
+            if dn is not None:
+                return {"kind": "dotted", "name": dn}
+            # a method on an arbitrary expression: unresolvable, but not
+            # the higher-order dispatch RA805 exists for
+            self._eval(receiver)
+            return {"kind": "unknown"}
+        # calling a non-name value (subscripted table, call result, ...):
+        # genuine dynamic dispatch
+        self._eval(func)
+        return {"kind": "dynamic"}
+
+    # ------------------------------------------------------------- #
+    # statements
+    # ------------------------------------------------------------- #
+    def run(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _clear_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._clear_target(elt)
+        elif isinstance(target, ast.Starred):
+            self._clear_target(target.value)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = self.collector.extract_function(
+                stmt, f"{self.facts.qualname}.<locals>.{stmt.name}",
+                class_name=None)
+            self.facts.local_funcs[stmt.name] = nested.qualname
+            self._bind(stmt.name, None)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._bind(stmt.name, None)
+            return
+        if isinstance(stmt, ast.Assign):
+            value_ref = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, value_ref)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign_target(stmt.target, self._eval(stmt.value))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value)
+            target = stmt.target
+            if is_buffer_access(target):
+                return  # RA101's finding, not an interprocedural one
+            if isinstance(target, ast.Name):
+                self._mut(["name", target.id], "augmented assignment", stmt)
+            elif isinstance(target, ast.Subscript):
+                self._mut(self._eval(target.value), "augmented slice "
+                          "assignment", stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            self._emit({"ev": "ret", "val": self._eval(stmt.value),
+                        "line": stmt.lineno})
+            return
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+            return
+        if isinstance(stmt, ast.For):
+            iter_ref = self._eval(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                # iterating an array yields row views that alias it
+                self._bind(stmt.target.id, iter_ref)
+            else:
+                self._clear_target(stmt.target)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            is_no_grad = False
+            for item in stmt.items:
+                expr = item.context_expr
+                self._eval(expr)
+                target = expr.func if isinstance(expr, ast.Call) else expr
+                name = target.attr if isinstance(target, ast.Attribute) else (
+                    target.id if isinstance(target, ast.Name) else None)
+                if name == "no_grad":
+                    is_no_grad = True
+                if item.optional_vars is not None:
+                    self._clear_target(item.optional_vars)
+            self.no_grad_depth += 1 if is_no_grad else 0
+            self.run(stmt.body)
+            self.no_grad_depth -= 1 if is_no_grad else 0
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    self._bind(handler.name, None)
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self._bind(target.id, None)
+            return
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                self._eval(child)
+            return
+        # Import/Global/Nonlocal/Pass/Break/Continue: no events
+
+    def _assign_target(self, target: ast.AST, value_ref: ValueRef) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, value_ref)
+            if len(self.facts.events) >= 1 and value_ref is not None \
+                    and value_ref[0] == "call":
+                self.facts.events[value_ref[1]]["result"] = target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self._clear_target(target)
+        elif isinstance(target, ast.Subscript):
+            if not is_buffer_access(target):
+                self._mut(self._eval(target.value), "slice assignment", target)
+        elif isinstance(target, ast.Attribute):
+            # self.<attr> = ClassName(...): record the attribute type so
+            # self.<attr>.method() resolves later
+            if (isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and self.facts.class_name is not None
+                    and value_ref is not None and value_ref[0] == "call"):
+                callee = self.facts.events[value_ref[1]]["callee"]
+                if callee["kind"] in ("name", "dotted"):
+                    cls = self.collector.facts.classes.get(
+                        self.facts.class_name)
+                    if cls is not None:
+                        cls.attr_types.setdefault(
+                            target.attr, callee["name"])
+
+
+class _ModuleExtractor:
+    """Walks one module, producing its :class:`ModuleFacts`."""
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.facts = ModuleFacts(
+            module=ctx.module, path=ctx.display_path,
+            is_package_init=ctx.path.name == "__init__.py")
+
+    def extract(self) -> ModuleFacts:
+        self._collect_imports()
+        for node in self.ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.extract_function(node, node.name, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                self._extract_class(node)
+        return self.facts
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.facts.imports.setdefault(local, target)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.facts.imports.setdefault(
+                        local, f"{base}.{alias.name}" if base else alias.name)
+
+    def _import_base(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module or ""
+        package = self.facts.module
+        if not self.facts.is_package_init:
+            package = package.rpartition(".")[0]
+        for _ in range(node.level - 1):
+            package = package.rpartition(".")[0]
+        if not package:
+            return None
+        if node.module:
+            return f"{package}.{node.module}"
+        return package
+
+    def extract_function(self, node: ast.AST, qualname: str,
+                         class_name: Optional[str]) -> FunctionFacts:
+        arg_nodes = list(node.args.posonlyargs) + list(node.args.args)
+        params = [a.arg for a in arg_nodes]
+        kwonly = [a.arg for a in node.args.kwonlyargs]
+        facts = FunctionFacts(
+            qualname=qualname, line=node.lineno, col=node.col_offset,
+            src=self.ctx.source_line(node.lineno),
+            params=params + kwonly,
+            class_name=class_name,
+            is_method=class_name is not None,
+            has_contract=_has_contract_decorator(node),
+            seeded=any(RNG_PARAM_RE.search(p) for p in params + kwonly),
+        )
+        self.facts.functions[qualname] = facts
+        _FunctionExtractor(self.ctx, facts, self.facts, self).run(node.body)
+        return facts
+
+    def _extract_class(self, node: ast.ClassDef) -> None:
+        cls = ClassFacts(
+            name=node.name,
+            bases=[b for b in (dotted_name(base) for base in node.bases)
+                   if b is not None])
+        self.facts.classes[node.name] = cls
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods.append(item.name)
+                self.extract_function(item, f"{node.name}.{item.name}",
+                                      class_name=node.name)
+
+
+def extract_module_facts(ctx: ModuleContext) -> ModuleFacts:
+    """One deterministic pass: the module's call-graph facts."""
+    return _ModuleExtractor(ctx).extract()
+
+
+# --------------------------------------------------------------------- #
+# project-wide name resolution
+# --------------------------------------------------------------------- #
+
+#: resolution results
+Resolved = Tuple[str, str]  # ("func", fqn) | ("class", class_fqn)
+
+
+class ProjectIndex:
+    """Cross-module symbol table over a set of :class:`ModuleFacts`."""
+
+    MAX_HOPS = 6
+
+    def __init__(self, modules: List[ModuleFacts]):
+        #: dotted module name -> facts (first writer wins deterministically)
+        self.modules: Dict[str, ModuleFacts] = {}
+        for facts in sorted(modules, key=lambda m: m.path):
+            self.modules.setdefault(facts.module, facts)
+        #: function fqn "module.qualname" -> (module facts, function facts)
+        self.functions: Dict[str, Tuple[ModuleFacts, FunctionFacts]] = {}
+        for facts in self.modules.values():
+            for qual, fn in facts.functions.items():
+                self.functions[f"{facts.module}.{qual}"] = (facts, fn)
+
+    # ------------------------------------------------------------- #
+    def resolve_in_module(self, mod: ModuleFacts, parts: List[str],
+                          hops: int = 0) -> Optional[Resolved]:
+        """Resolve a dotted reference as seen from inside ``mod``."""
+        if not parts or hops > self.MAX_HOPS:
+            return None
+        head = parts[0]
+        if head in mod.classes:
+            return self._resolve_class_member(mod, head, parts[1:], hops)
+        if head in mod.functions and len(parts) == 1:
+            return ("func", f"{mod.module}.{head}")
+        if head in mod.imports:
+            return self.resolve_dotted(
+                mod.imports[head].split(".") + parts[1:], hops + 1)
+        return None
+
+    def resolve_dotted(self, parts: List[str],
+                       hops: int = 0) -> Optional[Resolved]:
+        """Resolve an absolute dotted path against the project."""
+        if hops > self.MAX_HOPS:
+            return None
+        for cut in range(len(parts), 0, -1):
+            module_name = ".".join(parts[:cut])
+            mod = self.modules.get(module_name)
+            if mod is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return None  # a bare module is not callable
+            return self.resolve_in_module(mod, rest, hops + 1)
+        return None
+
+    def _resolve_class_member(self, mod: ModuleFacts, class_name: str,
+                              rest: List[str],
+                              hops: int) -> Optional[Resolved]:
+        if not rest:
+            return ("class", f"{mod.module}.{class_name}")
+        if len(rest) > 1 or hops > self.MAX_HOPS:
+            return None
+        method = rest[0]
+        seen = set()
+        stack = [(mod, class_name)]
+        while stack:
+            current_mod, current_name = stack.pop(0)
+            key = (current_mod.module, current_name)
+            if key in seen:
+                continue
+            seen.add(key)
+            cls = current_mod.classes.get(current_name)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return ("func",
+                        f"{current_mod.module}.{current_name}.{method}")
+            for base in cls.bases:
+                resolved = self.resolve_in_module(
+                    current_mod, base.split("."), hops + 1)
+                if resolved is not None and resolved[0] == "class":
+                    base_module, _, base_name = resolved[1].rpartition(".")
+                    base_mod = self.modules.get(base_module)
+                    if base_mod is not None:
+                        stack.append((base_mod, base_name))
+        return None
+
+    def resolve_class_method(self, class_fqn: str,
+                             method: str) -> Optional[Resolved]:
+        module_name, _, class_name = class_fqn.rpartition(".")
+        mod = self.modules.get(module_name)
+        if mod is None:
+            return None
+        return self._resolve_class_member(mod, class_name, [method], 0)
+
+    def constructor_of(self, class_fqn: str) -> Optional[str]:
+        """The ``__init__`` fqn of a class, walking bases."""
+        resolved = self.resolve_class_method(class_fqn, "__init__")
+        if resolved is not None and resolved[0] == "func":
+            return resolved[1]
+        return None

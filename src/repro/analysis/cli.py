@@ -14,6 +14,7 @@ findings do not fail), 1 = actionable findings or unparseable files,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -21,6 +22,7 @@ from typing import List, Optional
 from .baseline import Baseline, discover_baseline
 from .core import RULE_REGISTRY
 from .engine import analyze_paths, iter_python_files
+from .summaries import SummaryCache
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,10 +32,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*",
                         help="files/directories to analyze (default: src)")
-    parser.add_argument("--format", choices=("text", "json", "github"),
+    parser.add_argument("--format", choices=("text", "json", "github", "sarif"),
                         default="text", dest="fmt",
                         help="report format ('github' emits Actions "
-                             "::error/::warning annotations)")
+                             "::error/::warning annotations; 'sarif' emits "
+                             "SARIF 2.1.0 for code scanning)")
     parser.add_argument("--exclude", action="append", default=[],
                         metavar="NAME",
                         help="skip files under any directory component "
@@ -48,6 +51,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="write the current findings to the baseline "
                              "file and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline file dropping entries "
+                             "that no longer fire, then exit 0")
+    parser.add_argument("--fail-stale", action="store_true",
+                        help="exit 1 if the baseline contains stale entries "
+                             "(CI hygiene gate)")
+    parser.add_argument("--call-graph", choices=("dot", "json"),
+                        default=None, metavar="FMT",
+                        help="print the interprocedural call graph "
+                             "(dot|json) instead of the findings report")
+    parser.add_argument("--cache", default=None, metavar="FILE",
+                        help="summary-cache sidecar path (default: "
+                             ".repro-lint-cache.json next to the baseline)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the summary cache for this run")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -93,12 +111,49 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
                 return 2
 
+    cache = None
+    if not args.no_cache and select is None:
+        if args.cache:
+            cache_path = Path(args.cache)
+        else:
+            anchor = baseline_path.parent if baseline_path is not None \
+                else Path.cwd()
+            cache_path = anchor / SummaryCache.DEFAULT_NAME
+        cache = SummaryCache(cache_path)
+
     try:
         report = analyze_paths(paths, select=select, baseline=baseline,
-                               exclude=args.exclude)
+                               exclude=args.exclude, cache=cache)
     except KeyError as exc:  # unknown --select rule id
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+
+    if args.call_graph:
+        if report.project is None:
+            print("error: --call-graph needs the RA80x rules in the run "
+                  "(drop --select or include RA801-RA805)", file=sys.stderr)
+            return 2
+        if args.call_graph == "dot":
+            print(report.project.graph_as_dot(), end="")
+        else:
+            print(json.dumps(report.project.graph_as_dict(), indent=2,
+                             sort_keys=True))
+        return 0
+
+    if args.prune_baseline:
+        if baseline is None:
+            print("error: --prune-baseline needs a baseline file",
+                  file=sys.stderr)
+            return 2
+        stale = {entry.fingerprint for entry in report.stale_baseline}
+        baseline.entries = {fp: entry
+                            for fp, entry in baseline.entries.items()
+                            if fp not in stale}
+        baseline.save(baseline.source)
+        print(f"pruned {len(stale)} stale entr"
+              f"{'y' if len(stale) == 1 else 'ies'}; "
+              f"{len(baseline)} remain in {baseline.source}")
+        return 0
 
     if args.write_baseline:
         target = baseline_path or Path(args.baseline or "analysis-baseline.json")
@@ -113,11 +168,16 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{'y' if len(merged) == 1 else 'ies'} to {target}")
         return 0
 
-    from .reporters import render_github, render_json, render_text
+    from .reporters import render_github, render_json, render_sarif, render_text
 
     renderer = {"json": render_json, "github": render_github,
-                "text": render_text}[args.fmt]
+                "sarif": render_sarif, "text": render_text}[args.fmt]
     print(renderer(report))
+    if args.fail_stale and report.stale_baseline and report.exit_code == 0:
+        print(f"error: {len(report.stale_baseline)} stale baseline "
+              f"entr{'y' if len(report.stale_baseline) == 1 else 'ies'} "
+              f"(run --prune-baseline)", file=sys.stderr)
+        return 1
     return report.exit_code
 
 

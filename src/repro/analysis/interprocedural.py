@@ -1,0 +1,96 @@
+"""RA801–RA805: the interprocedural rule family.
+
+These rules are thin adapters: all the work happens in
+:mod:`repro.analysis.callgraph` (fact extraction, name resolution) and
+:mod:`repro.analysis.summaries` (fixed-point summaries + raw findings).
+Each rule materializes its raw findings as :class:`Finding` objects so
+they flow through the same noqa/baseline/reporting machinery as every
+intra-procedural family.
+
+=====  ==============================================================
+id     fires when
+=====  ==============================================================
+RA801  a live Tensor-buffer alias or frozen snapshot (``capture()``
+       result, snapshot-named value) is passed to a function whose
+       summary says it mutates that parameter
+RA802  a caller writes in place through a view of non-local storage
+       that a callee returned (``returns-view-of-parameter``
+       composed across the call)
+RA803  a seeded entrypoint (takes ``seed``/``rng``/... or constructs
+       a ``Generator``) calls into a chain that draws from the
+       process-global RNG
+RA804  a ``@shape_contract``-decorated function forwards a
+       contract-checked argument to a param-mutating callee
+RA805  a call cycle forwards parameters through a dynamic call, so
+       the summary fixed point is unsound there — reported once per
+       cycle instead of silently skipped
+=====  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .core import SEVERITY_ERROR, SEVERITY_WARNING, Finding, ProjectRule, register
+from .summaries import ProjectAnalysis
+
+
+class _SummaryBackedRule(ProjectRule):
+    """Materializes the raw findings computed for this rule's id."""
+
+    def check_project(self, project: ProjectAnalysis) -> Iterator[Finding]:
+        for raw in project.findings_for(self.id):
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=raw.path,
+                line=raw.line,
+                col=raw.col,
+                message=raw.message,
+                source=raw.source,
+            )
+
+
+@register
+class SnapshotPassedToMutator(_SummaryBackedRule):
+    id = "RA801"
+    name = "snapshot-passed-to-mutator"
+    severity = SEVERITY_ERROR
+    summary = ("live buffer alias or frozen snapshot passed to a function "
+               "summarized as mutating that parameter")
+
+
+@register
+class WriteThroughReturnedView(_SummaryBackedRule):
+    id = "RA802"
+    name = "write-through-returned-view"
+    severity = SEVERITY_ERROR
+    summary = ("in-place write through a parameter view returned by a "
+               "callee — the write escapes the writing function")
+
+
+@register
+class GlobalRngReachableFromSeeded(_SummaryBackedRule):
+    id = "RA803"
+    name = "global-rng-reachable-from-seeded"
+    severity = SEVERITY_ERROR
+    summary = ("seeded entrypoint transitively draws from the process-"
+               "global RNG instead of the threaded Generator")
+
+
+@register
+class ContractArgumentMutated(_SummaryBackedRule):
+    id = "RA804"
+    name = "contract-argument-mutated"
+    severity = SEVERITY_ERROR
+    summary = ("shape-contract-decorated function forwards a contract-"
+               "checked argument to a parameter-mutating callee")
+
+
+@register
+class UnsoundSummaryCycle(_SummaryBackedRule):
+    id = "RA805"
+    name = "unsound-summary-cycle"
+    severity = SEVERITY_WARNING
+    summary = ("call cycle forwards parameters through a dynamic call; "
+               "the summary fixed point cannot cover it")

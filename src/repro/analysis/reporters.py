@@ -1,8 +1,10 @@
-"""Text and JSON renderings of an :class:`~repro.analysis.engine.AnalysisReport`.
+"""Text, JSON, GitHub-annotation, and SARIF renderings of an
+:class:`~repro.analysis.engine.AnalysisReport`.
 
 The text form is the human / CI-log view; the JSON form feeds tooling
 (``benchmarks/summarize.py`` ingests its ``summary`` block as a tracked
-quality metric).
+quality metric); the SARIF form is what CI uploads to code scanning so
+findings annotate PRs.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ import json
 from collections import Counter
 from typing import Dict
 
-from .core import SEVERITY_ERROR, SEVERITY_WARNING
+from .core import PARSE_ERROR_RULE, RULE_REGISTRY, SEVERITY_ERROR, SEVERITY_WARNING
 from .engine import AnalysisReport
 
 
@@ -81,6 +83,70 @@ def render_github(report: AnalysisReport) -> str:
             f"title={f.rule}::{_gha_escape(f.message)}")
     lines.append(render_text(report))
     return "\n".join(lines)
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    """SARIF 2.1.0, the schema GitHub code scanning ingests.
+
+    One ``result`` per actionable finding and per parse error (baselined
+    and noqa-suppressed findings are deliberately omitted — they are not
+    actionable and would re-annotate every PR).  ``partialFingerprints``
+    carries the engine's baseline fingerprint so code scanning tracks a
+    finding across unrelated line shifts exactly like the baseline does.
+    """
+    rules_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary or rule.name},
+            "defaultConfiguration": {
+                "level": "error" if rule.severity == SEVERITY_ERROR
+                else "warning"},
+        }
+        for rule in sorted(RULE_REGISTRY.values(), key=lambda r: r.id)
+    ]
+    rules_meta.append({
+        "id": PARSE_ERROR_RULE,
+        "name": "parse-error",
+        "shortDescription": {"text": "file could not be parsed"},
+        "defaultConfiguration": {"level": "error"},
+    })
+    rules_meta.sort(key=lambda meta: meta["id"])
+    rule_index = {meta["id"]: i for i, meta in enumerate(rules_meta)}
+
+    results = []
+    for f in report.parse_errors + report.findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": "error" if f.severity == SEVERITY_ERROR else "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col + 1},
+                },
+            }],
+            "partialFingerprints": {"reproFingerprint/v1": f.fingerprint()},
+        }
+        results.append(result)
+
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "rules": rules_meta,
+            }},
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def render_json(report: AnalysisReport) -> str:

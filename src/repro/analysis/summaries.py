@@ -1,0 +1,685 @@
+"""Fixed-point function summaries over the project call graph.
+
+Given the per-module facts from :mod:`repro.analysis.callgraph`, this
+module computes one **summary** per function by replaying its event
+stream against the summaries of its callees, iterating to a fixed
+point:
+
+* ``mutates`` — parameter indices the function writes in place
+  (directly, through a view/alias, or by forwarding the parameter to a
+  callee summarized as mutating that position);
+* ``returns_view_of`` — parameter indices whose memory the return value
+  may alias (view-method chains compose across returns);
+* ``draws_global_rng`` — a ``np.random.*`` / stdlib ``random.*`` draw is
+  reachable without a passed-in ``Generator`` (with a witness chain for
+  the report);
+* ``requires_no_grad`` — the function (transitively) reaches a
+  graph-building call outside a ``no_grad`` block; exported in the
+  graph/summaries JSON for the sharding work, not enforced by a rule.
+
+The same replay, run once more after convergence, produces the raw
+RA801–RA805 findings (see :mod:`repro.analysis.interprocedural` for the
+rule classes and the catalogue in ``docs/ANALYSIS.md`` for semantics).
+
+**Cache**: :class:`SummaryCache` persists per-file facts *and* raw
+module-rule findings to one deterministic JSON sidecar keyed by the
+file's SHA-256 and a signature of the analysis package itself.  On a
+warm run the engine never re-parses an unchanged file — it re-applies
+``noqa``/baseline (pure text operations) and re-runs only the cheap
+fixed point, which is what keeps full-tree re-lints inside the <2 s CI
+budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .callgraph import (
+    SNAPSHOT_NAME_RE,
+    FunctionFacts,
+    ModuleFacts,
+    ProjectIndex,
+)
+
+_MAX_ITERATIONS = 50
+_MAX_WITNESS_HOPS = 8
+
+#: replay origins:
+#:   ("param", i)            the caller's i-th parameter (may-alias)
+#:   ("buffer", desc)        Tensor.data / Tensor.grad storage
+#:   ("frozen", desc)        capture()-frozen or snapshot-named value
+#:   ("instance", class_fqn) result of a resolved constructor call
+#:   ("retview", inner, lbl) a view of `inner` returned by callee `lbl`
+Origin = Optional[Tuple[Any, ...]]
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """The interprocedural lattice value for one function."""
+
+    mutates: FrozenSet[int] = frozenset()
+    returns_view_of: FrozenSet[int] = frozenset()
+    draws_global_rng: bool = False
+    rng_witness: Optional[Tuple[str, ...]] = None
+    requires_no_grad: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "mutates": sorted(self.mutates),
+            "returns_view_of": sorted(self.returns_view_of),
+            "draws_global_rng": self.draws_global_rng,
+            "rng_witness": list(self.rng_witness) if self.rng_witness else None,
+            "requires_no_grad": self.requires_no_grad,
+        }
+
+
+@dataclass
+class RawFinding:
+    """A project-rule hit before severity/noqa/baseline are applied."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    source: str
+
+
+@dataclass
+class ProjectAnalysis:
+    """Call graph + summaries + raw RA80x findings for one tree."""
+
+    index: ProjectIndex
+    summaries: Dict[str, FunctionSummary] = field(default_factory=dict)
+    edges: List[Tuple[str, str, int]] = field(default_factory=list)
+    cycles: List[List[str]] = field(default_factory=list)
+    raw_findings: List[RawFinding] = field(default_factory=list)
+
+    def findings_for(self, rule_id: str) -> List[RawFinding]:
+        return [f for f in self.raw_findings if f.rule == rule_id]
+
+    # ------------------------------------------------------------- #
+    # exports (`repro lint --call-graph dot|json`)
+    # ------------------------------------------------------------- #
+    def graph_as_dict(self) -> Dict[str, Any]:
+        functions = {}
+        for fqn in sorted(self.index.functions):
+            mod, fn = self.index.functions[fqn]
+            functions[fqn] = {
+                "path": mod.path,
+                "line": fn.line,
+                "summary": self.summaries[fqn].as_dict(),
+            }
+        return {
+            "version": 1,
+            "functions": functions,
+            "edges": [[a, b, line]
+                      for a, b, line in sorted(set(self.edges))],
+            "cycles": [sorted(c) for c in
+                       sorted(self.cycles, key=lambda c: sorted(c)[0])],
+        }
+
+    def graph_as_dot(self) -> str:
+        lines = ["digraph callgraph {", "  rankdir=LR;",
+                 '  node [shape=box, fontsize=10];']
+        for fqn in sorted(self.index.functions):
+            summary = self.summaries[fqn]
+            attrs = []
+            if summary.mutates:
+                attrs.append('color="red"')
+                attrs.append(
+                    f'xlabel="mutates {",".join(map(str, sorted(summary.mutates)))}"')
+            elif summary.draws_global_rng:
+                attrs.append('color="orange"')
+            label = fqn.replace('"', r'\"')
+            lines.append(f'  "{label}" [{", ".join(attrs)}];' if attrs
+                         else f'  "{label}";')
+        for a, b, _line in sorted(set(self.edges)):
+            lines.append(f'  "{a}" -> "{b}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# replay
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _ReplayResult:
+    mutates: set = field(default_factory=set)
+    returns_view_of: set = field(default_factory=set)
+    draws: bool = False
+    witness: Optional[Tuple[str, ...]] = None
+    builds_graph: bool = False
+    edges: List[Tuple[str, int]] = field(default_factory=list)
+    dynamic_forwards: List[Tuple[int, int, str]] = field(default_factory=list)
+    findings: List[RawFinding] = field(default_factory=list)
+
+    def bits(self) -> FunctionSummary:
+        return FunctionSummary(
+            mutates=frozenset(self.mutates),
+            returns_view_of=frozenset(self.returns_view_of),
+            draws_global_rng=self.draws,
+            rng_witness=self.witness,
+            requires_no_grad=self.builds_graph,
+        )
+
+
+class _Replayer:
+    """Replays one function's events against current callee summaries."""
+
+    def __init__(self, index: ProjectIndex, mod: ModuleFacts,
+                 fqn: str, fn: FunctionFacts,
+                 summaries: Dict[str, FunctionSummary],
+                 collect: bool):
+        self.index = index
+        self.mod = mod
+        self.fqn = fqn
+        self.fn = fn
+        self.summaries = summaries
+        self.collect = collect
+        self.env: Dict[str, Origin] = {
+            p: ("param", i) for i, p in enumerate(fn.params)}
+        self.call_origins: Dict[int, Origin] = {}
+        self.result = _ReplayResult()
+
+    # ------------------------------------------------------------- #
+    def origin_of(self, ref: Optional[List[Any]]) -> Origin:
+        if ref is None:
+            return None
+        kind = ref[0]
+        if kind == "name":
+            name = ref[1]
+            if name in self.env:
+                return self.env[name]
+            if SNAPSHOT_NAME_RE.search(name):
+                return ("frozen", f"'{name}'")
+            return None
+        if kind == "buffer":
+            return ("buffer", ref[1])
+        if kind == "frozen":
+            return ("frozen", ref[1])
+        if kind == "call":
+            return self.call_origins.get(ref[1])
+        return None
+
+    @staticmethod
+    def _unwrap(origin: Origin) -> Origin:
+        """Peel ``retview`` wrappers down to the aliased storage."""
+        while origin is not None and origin[0] == "retview":
+            origin = origin[1]
+        return origin
+
+    @staticmethod
+    def _describe(origin: Origin) -> str:
+        if origin is None:
+            return "a value"
+        kind = origin[0]
+        if kind == "buffer":
+            return f"the Tensor buffer {origin[1]}"
+        if kind == "frozen":
+            desc = origin[1]
+            # descriptors that are already full noun phrases ("a capture()-
+            # frozen snapshot") stand alone; quoted names get the prefix
+            return desc if desc.startswith("a ") else f"the frozen snapshot {desc}"
+        if kind == "param":
+            return f"parameter {origin[1]}"
+        if kind == "retview":
+            inner = _Replayer._describe(_Replayer._unwrap(origin))
+            return f"a returned view of {inner}"
+        return "a value"
+
+    def _finding(self, rule: str, event: Dict[str, Any],
+                 message: str) -> None:
+        if not self.collect:
+            return
+        self.result.findings.append(RawFinding(
+            rule=rule, path=self.mod.path, line=event.get("line", self.fn.line),
+            col=event.get("col", 0), message=message,
+            source=event.get("src", "")))
+
+    # ------------------------------------------------------------- #
+    # callee resolution
+    # ------------------------------------------------------------- #
+    def _resolve_callee(self, callee: Dict[str, Any]
+                        ) -> Tuple[Optional[str], int, bool, str]:
+        """-> (fqn | None, arg shift, is_dynamic, display label)."""
+        kind = callee["kind"]
+        if kind == "dynamic":
+            return None, 0, True, "<dynamic>"
+        if kind == "unknown":
+            return None, 0, False, "<unknown>"
+        if kind == "name":
+            name = callee["name"]
+            if name in self.fn.local_funcs:
+                return (f"{self.mod.module}.{self.fn.local_funcs[name]}",
+                        0, False, name)
+            if name in self.mod.functions:
+                return f"{self.mod.module}.{name}", 0, False, name
+            resolved = self.index.resolve_in_module(self.mod, [name])
+            if resolved is not None:
+                if resolved[0] == "func":
+                    return resolved[1], 0, False, name
+                ctor = self.index.constructor_of(resolved[1])
+                return ctor, 1, False, name
+            origin = self.env.get(name)
+            if name in self.env:
+                # a locally-bound callable: dynamic dispatch
+                return None, 0, True, name
+            return None, 0, False, name
+        if kind == "self":
+            if self.fn.class_name is None:
+                return None, 0, False, f"self.{callee['method']}"
+            resolved = self.index.resolve_class_method(
+                f"{self.mod.module}.{self.fn.class_name}", callee["method"])
+            label = f"self.{callee['method']}"
+            if resolved is not None and resolved[0] == "func":
+                return resolved[1], 1, False, label
+            return None, 0, False, label
+        if kind == "selfattr":
+            label = f"self.{callee['attr']}.{callee['method']}"
+            cls = self.mod.classes.get(self.fn.class_name or "")
+            if cls is not None and callee["attr"] in cls.attr_types:
+                type_ref = cls.attr_types[callee["attr"]]
+                resolved = self.index.resolve_in_module(
+                    self.mod, type_ref.split("."))
+                if resolved is not None and resolved[0] == "class":
+                    method = self.index.resolve_class_method(
+                        resolved[1], callee["method"])
+                    if method is not None and method[0] == "func":
+                        return method[1], 1, False, label
+            return None, 0, False, label
+        # kind == "dotted"
+        name = callee["name"]
+        label = name
+        resolved = self.index.resolve_in_module(self.mod, name.split("."))
+        if resolved is not None:
+            if resolved[0] == "func":
+                return resolved[1], 0, False, label
+            ctor = self.index.constructor_of(resolved[1])
+            return ctor, 1, False, label
+        obj, method = callee.get("obj"), callee.get("method")
+        if obj is not None and method is not None:
+            origin = self.env.get(obj)
+            if origin is not None and origin[0] == "instance":
+                method_resolved = self.index.resolve_class_method(
+                    origin[1], method)
+                if method_resolved is not None and method_resolved[0] == "func":
+                    return method_resolved[1], 1, False, label
+        return None, 0, False, label
+
+    def _class_of_constructor(self, callee: Dict[str, Any]) -> Optional[str]:
+        if callee["kind"] not in ("name", "dotted"):
+            return None
+        resolved = self.index.resolve_in_module(
+            self.mod, callee["name"].split("."))
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        return None
+
+    # ------------------------------------------------------------- #
+    # events
+    # ------------------------------------------------------------- #
+    def run(self) -> _ReplayResult:
+        for idx, event in enumerate(self.fn.events):
+            kind = event["ev"]
+            if kind == "bind":
+                self.env[event["name"]] = self.origin_of(event["val"])
+            elif kind == "mut":
+                self._mutation(event)
+            elif kind == "rng":
+                if not event["suppressed"]:
+                    self.result.draws = True
+                    if self.result.witness is None:
+                        self.result.witness = (
+                            "direct", event["name"], str(event["line"]))
+            elif kind == "ret":
+                origin = self._unwrap(self.origin_of(event["val"]))
+                if origin is not None and origin[0] == "param":
+                    self.result.returns_view_of.add(origin[1])
+            elif kind == "call":
+                self._call(idx, event)
+        return self.result
+
+    def _mutation(self, event: Dict[str, Any]) -> None:
+        origin = self.origin_of(event["val"])
+        if origin is None:
+            return
+        if origin[0] == "retview":
+            inner = self._unwrap(origin)
+            label = origin[2]
+            if inner is not None and inner[0] in ("buffer", "frozen"):
+                self._finding(
+                    "RA802", event,
+                    f"in-place write ({event['how']}) through a view of "
+                    f"{self._describe(inner)} returned by '{label}' — the "
+                    f"write escapes this function; copy before mutating")
+            if inner is not None and inner[0] == "param":
+                self.result.mutates.add(inner[1])
+            return
+        if origin[0] == "param":
+            self.result.mutates.add(origin[1])
+
+    def _call(self, idx: int, event: Dict[str, Any]) -> None:
+        if event.get("graph") and not event["no_grad"]:
+            self.result.builds_graph = True
+        callee = event["callee"]
+        fqn, shift, dynamic, label = self._resolve_callee(callee)
+        summary = self.summaries.get(fqn) if fqn is not None else None
+
+        arg_origins: List[Tuple[Optional[int], Origin]] = []
+        if not event.get("starargs"):
+            for pos, ref in enumerate(event["args"]):
+                arg_origins.append((pos + shift, self.origin_of(ref)))
+        callee_params = (self.index.functions[fqn][1].params
+                         if fqn in self.index.functions else [])
+        for kw_name, ref in sorted(event.get("kwargs", {}).items()):
+            param_idx = (callee_params.index(kw_name)
+                         if kw_name in callee_params else None)
+            arg_origins.append((param_idx, self.origin_of(ref)))
+
+        if dynamic:
+            if any(self._unwrap(origin) is not None
+                   and self._unwrap(origin)[0] == "param"
+                   for _i, origin in arg_origins):
+                self.result.dynamic_forwards.append(
+                    (event["line"], event["col"], event.get("src", "")))
+            return
+
+        if fqn is not None:
+            self.result.edges.append((fqn, event["line"]))
+
+        if summary is not None:
+            self._apply_callee_summary(event, fqn, summary, label,
+                                       arg_origins, callee_params)
+
+        # result origin: constructor instance or returned view
+        result_origin: Origin = None
+        cls = self._class_of_constructor(callee)
+        if cls is not None:
+            result_origin = ("instance", cls)
+        elif summary is not None and summary.returns_view_of:
+            for param_idx, origin in arg_origins:
+                if param_idx in summary.returns_view_of and origin is not None:
+                    result_origin = ("retview", origin, label)
+                    break
+        self.call_origins[idx] = result_origin
+
+    def _apply_callee_summary(self, event: Dict[str, Any], fqn: str,
+                              summary: FunctionSummary, label: str,
+                              arg_origins, callee_params) -> None:
+        if not event["no_grad"] and summary.requires_no_grad:
+            self.result.builds_graph = True
+        if summary.draws_global_rng:
+            self.result.draws = True
+            if self.result.witness is None:
+                self.result.witness = ("via", fqn)
+            if self.fn.seeded:
+                chain = _witness_chain(self.summaries, fqn)
+                self._finding(
+                    "RA803", event,
+                    f"'{self.fn.qualname}' takes a seed/Generator but this "
+                    f"call to '{label}' reaches the process-global RNG "
+                    f"({chain}) — thread the Generator through the call "
+                    f"chain instead")
+        for param_idx, origin in arg_origins:
+            if param_idx is None or param_idx not in summary.mutates:
+                continue
+            param_name = (callee_params[param_idx]
+                          if param_idx < len(callee_params)
+                          else str(param_idx))
+            storage = self._unwrap(origin)
+            if storage is None:
+                continue
+            if storage[0] in ("buffer", "frozen"):
+                self._finding(
+                    "RA801", event,
+                    f"passes {self._describe(origin)} to '{label}', which "
+                    f"mutates its parameter '{param_name}' in place — pass "
+                    f"a copy or make '{label}' pure")
+            elif storage[0] == "param":
+                caller_idx = storage[1]
+                self.result.mutates.add(caller_idx)
+                caller_param = (self.fn.params[caller_idx]
+                                if caller_idx < len(self.fn.params)
+                                else str(caller_idx))
+                if self.fn.has_contract:
+                    self._finding(
+                        "RA804", event,
+                        f"'{self.fn.qualname}' is shape-contract-checked "
+                        f"but forwards its argument '{caller_param}' to "
+                        f"'{label}', which mutates it in place — contract-"
+                        f"checked arguments must stay read-only")
+                elif SNAPSHOT_NAME_RE.search(caller_param):
+                    self._finding(
+                        "RA801", event,
+                        f"forwards snapshot parameter '{caller_param}' to "
+                        f"'{label}', which mutates its parameter "
+                        f"'{param_name}' in place — snapshots are frozen; "
+                        f"pass a copy")
+
+
+def _witness_chain(summaries: Dict[str, FunctionSummary], fqn: str) -> str:
+    """Human-readable path from a callee down to the concrete draw."""
+    parts = [fqn.rsplit(".", 1)[-1]]
+    current = fqn
+    for _ in range(_MAX_WITNESS_HOPS):
+        witness = summaries[current].rng_witness if current in summaries \
+            else None
+        if witness is None:
+            break
+        if witness[0] == "direct":
+            parts.append(f"{witness[1]} at line {witness[2]}")
+            break
+        nxt = witness[1]
+        if nxt == current:
+            break
+        parts.append(nxt.rsplit(".", 1)[-1])
+        current = nxt
+    return " -> ".join(parts)
+
+
+# --------------------------------------------------------------------- #
+# fixed point + SCC
+# --------------------------------------------------------------------- #
+
+
+def _tarjan_sccs(nodes: Sequence[str],
+                 edges: Dict[str, List[str]]) -> List[List[str]]:
+    """Iterative Tarjan; returns SCCs in deterministic order."""
+    index_counter = [0]
+    indices: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+
+    for root in nodes:
+        if root in indices:
+            continue
+        work = [(root, iter(edges.get(root, ())))]
+        indices[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in indices:
+                    indices[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], indices[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+def analyze_project(modules: Sequence[ModuleFacts]) -> ProjectAnalysis:
+    """Build the index, iterate summaries to a fixed point, collect
+    the raw RA80x findings and call cycles."""
+    index = ProjectIndex(list(modules))
+    order = sorted(index.functions)
+    summaries: Dict[str, FunctionSummary] = {
+        fqn: FunctionSummary() for fqn in order}
+
+    for _ in range(_MAX_ITERATIONS):
+        changed = False
+        for fqn in order:
+            mod, fn = index.functions[fqn]
+            replay = _Replayer(index, mod, fqn, fn, summaries,
+                               collect=False).run()
+            new = replay.bits()
+            if new != summaries[fqn]:
+                summaries[fqn] = new
+                changed = True
+        if not changed:
+            break
+
+    analysis = ProjectAnalysis(index=index, summaries=summaries)
+    adjacency: Dict[str, List[str]] = {}
+    dynamic_sites: Dict[str, List[Tuple[int, int, str]]] = {}
+    for fqn in order:
+        mod, fn = index.functions[fqn]
+        replay = _Replayer(index, mod, fqn, fn, summaries,
+                           collect=True).run()
+        analysis.raw_findings.extend(replay.findings)
+        for callee_fqn, line in replay.edges:
+            analysis.edges.append((fqn, callee_fqn, line))
+            adjacency.setdefault(fqn, []).append(callee_fqn)
+        if replay.dynamic_forwards:
+            dynamic_sites[fqn] = replay.dynamic_forwards
+
+    self_loops = {a for a, b, _line in analysis.edges if a == b}
+    for scc in _tarjan_sccs(order, adjacency):
+        if len(scc) < 2 and scc[0] not in self_loops:
+            continue
+        analysis.cycles.append(scc)
+        sites = []
+        for member in scc:
+            mod, _fn = index.functions[member]
+            for line, col, src in dynamic_sites.get(member, ()):
+                sites.append((mod.path, line, col, src, member))
+        if not sites:
+            continue  # a resolved cycle: the fixed point handles it
+        path, line, col, src, member = min(sites)
+        display = " -> ".join(f.rsplit(".", 1)[-1] for f in scc)
+        analysis.raw_findings.append(RawFinding(
+            rule="RA805", path=path, line=line, col=col,
+            message=(f"call cycle ({display}) forwards a parameter through "
+                     f"a dynamic call in '{member.rsplit('.', 1)[-1]}' — "
+                     f"summaries cannot converge soundly here; dispatch "
+                     f"statically or break the cycle"),
+            source=src))
+
+    analysis.raw_findings.sort(
+        key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return analysis
+
+
+# --------------------------------------------------------------------- #
+# the deterministic summary cache
+# --------------------------------------------------------------------- #
+
+
+@lru_cache(maxsize=1)
+def rules_signature() -> str:
+    """SHA over the analysis package sources: any rule edit → cold cache."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode("utf-8"))
+        digest.update(source.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def file_sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """JSON sidecar: per-file SHA -> (raw module findings, ModuleFacts).
+
+    The payload is fully deterministic — facts serialize with sorted
+    keys and findings in engine order — so two cold runs over the same
+    tree produce byte-identical sidecars (asserted in CI).  Entries are
+    pruned to the files touched by the current run on save.
+    """
+
+    VERSION = 1
+    DEFAULT_NAME = ".repro-lint-cache.json"
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self.signature = rules_signature()
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.touched: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (raw.get("version") != self.VERSION
+                or raw.get("rules_signature") != self.signature):
+            return  # analysis package changed: every entry is invalid
+        self.entries = raw.get("files", {})
+
+    def lookup(self, display_path: str, sha: str
+               ) -> Optional[Tuple[List[Dict[str, Any]], ModuleFacts]]:
+        entry = self.entries.get(display_path)
+        if entry is None or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.touched[display_path] = entry
+        return (entry["findings"],
+                ModuleFacts.from_dict(entry["facts"]))
+
+    def store(self, display_path: str, sha: str,
+              findings: List[Dict[str, Any]], facts: ModuleFacts) -> None:
+        entry = {"sha": sha, "findings": findings,
+                 "facts": facts.as_dict()}
+        self.entries[display_path] = entry
+        self.touched[display_path] = entry
+
+    def save(self) -> None:
+        payload = {
+            "version": self.VERSION,
+            "rules_signature": self.signature,
+            "files": {path: self.touched[path]
+                      for path in sorted(self.touched)},
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        try:
+            self.path.write_text(text + "\n", encoding="utf-8")
+        except OSError:
+            pass  # read-only checkout: run uncached

@@ -103,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser("lint", help="run the static-analysis rules")
     p_lint.add_argument("paths", nargs="*",
                         help="files/directories to analyze (default: src)")
-    p_lint.add_argument("--format", choices=("text", "json", "github"),
+    p_lint.add_argument("--format", choices=("text", "json", "github", "sarif"),
                         default="text", dest="fmt")
     p_lint.add_argument("--select", default=None, metavar="RULES")
     p_lint.add_argument("--baseline", default=None, metavar="FILE")
@@ -111,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--exclude", action="append", default=[],
                         metavar="NAME")
     p_lint.add_argument("--write-baseline", action="store_true")
+    p_lint.add_argument("--prune-baseline", action="store_true")
+    p_lint.add_argument("--fail-stale", action="store_true")
+    p_lint.add_argument("--call-graph", choices=("dot", "json"),
+                        default=None, metavar="FMT")
+    p_lint.add_argument("--cache", default=None, metavar="FILE")
+    p_lint.add_argument("--no-cache", action="store_true")
     p_lint.add_argument("--list-rules", action="store_true")
 
     p_contracts = sub.add_parser(
@@ -255,6 +261,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--exclude", name]
     if args.write_baseline:
         argv.append("--write-baseline")
+    if args.prune_baseline:
+        argv.append("--prune-baseline")
+    if args.fail_stale:
+        argv.append("--fail-stale")
+    if args.call_graph:
+        argv += ["--call-graph", args.call_graph]
+    if args.cache:
+        argv += ["--cache", args.cache]
+    if args.no_cache:
+        argv.append("--no-cache")
     if args.list_rules:
         argv.append("--list-rules")
     return analysis_main(argv)

@@ -1,0 +1,21 @@
+"""RA801: frozen snapshots / buffer aliases passed to mutating helpers."""
+
+
+def scale_rows(mat, factor):
+    mat *= factor
+    return mat
+
+
+def apply_decay(snapshot_emb, factor):
+    # forwards a snapshot-named parameter into an in-place mutator
+    return scale_rows(snapshot_emb, factor)
+
+
+def corrupt_teacher(model, factor):
+    teacher = model.teacher_emb
+    return scale_rows(teacher, factor)
+
+
+def corrupt_capture(arr, factor):
+    snap = capture(arr)
+    return scale_rows(snap, factor)

@@ -1,0 +1,15 @@
+"""RA801 compliant: mutating helpers only ever see fresh copies."""
+
+
+def scale_rows(mat, factor):
+    mat *= factor
+    return mat
+
+
+def apply_decay(snapshot_emb, factor):
+    return scale_rows(snapshot_emb.copy(), factor)
+
+
+def corrupt_teacher(model, factor):
+    teacher = model.teacher_emb
+    return scale_rows(teacher.copy(), factor)

@@ -1,0 +1,11 @@
+"""RA802: writing through a parameter view returned by a callee."""
+
+
+def head_rows(mat, k):
+    return mat[:k]
+
+
+def bump_anchor_head(model):
+    head = head_rows(model.anchor_emb, 4)
+    head += 1.0
+    return head

@@ -1,0 +1,16 @@
+"""RA803: a seeded entrypoint reaches the global RNG three calls down."""
+
+import random
+
+
+def jitter(values):
+    return [v + random.random() for v in values]
+
+
+def perturb(values):
+    return jitter(values)
+
+
+def run_world(seed, values):
+    # takes a seed, but the perturbation path ignores it entirely
+    return perturb(values)

@@ -1,0 +1,16 @@
+"""RA803 compliant: the Generator is threaded through the call chain."""
+
+import numpy as np
+
+
+def jitter(values, rng):
+    return values + rng.normal(size=len(values))
+
+
+def perturb(values, rng):
+    return jitter(values, rng)
+
+
+def run_world(seed, values):
+    rng = np.random.default_rng(seed)
+    return perturb(values, rng)

@@ -1,0 +1,13 @@
+"""RA804: a contract-checked argument is forwarded to a mutator."""
+
+from repro.contracts import shape_contract
+
+
+def center_inplace(mat):
+    mat -= 0.5
+    return mat
+
+
+@shape_contract("(N, D) f -> (N, D) f")
+def normalize(batch):
+    return center_inplace(batch)

@@ -1,0 +1,15 @@
+"""RA805: a call cycle forwards a parameter through a dynamic call."""
+
+HANDLERS = {}
+
+
+def expand(node, payload):
+    handler = HANDLERS[node]
+    handler(payload)
+    return shrink(node, payload)
+
+
+def shrink(node, payload):
+    if node:
+        return expand(node, payload)
+    return payload

@@ -1,0 +1,423 @@
+"""Call-graph construction, fixed-point summaries, the RA80x rules on
+multi-module trees, the summary cache, and the new CLI surfaces."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze_paths,
+    analyze_project,
+    extract_module_facts,
+    render_json,
+    render_sarif,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.core import ModuleContext
+from repro.analysis.summaries import SummaryCache, rules_signature
+
+
+def _facts(source: str, path: Path, name: str = "mod.py"):
+    file_path = path / name
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    file_path.write_text(source)
+    ctx = ModuleContext.from_source(source, file_path,
+                                    display_path=str(file_path))
+    return extract_module_facts(ctx)
+
+
+def _tree(tmp_path: Path, files: dict) -> Path:
+    """Write a ``repro``-rooted package so dotted imports resolve."""
+    root = tmp_path / "proj"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+def _ra80x(report):
+    return [f for f in report.findings if f.rule.startswith("RA80")]
+
+
+class TestFactExtraction:
+    def test_functions_methods_and_nested(self, tmp_path):
+        facts = _facts(
+            "def top(a):\n"
+            "    def inner(b):\n"
+            "        return b\n"
+            "    return inner(a)\n"
+            "class C:\n"
+            "    def m(self, x):\n"
+            "        return x\n",
+            tmp_path)
+        assert set(facts.functions) == {"top", "top.<locals>.inner", "C.m"}
+        assert facts.functions["top"].local_funcs == {
+            "inner": "top.<locals>.inner"}
+        assert facts.functions["C.m"].params == ["self", "x"]
+        assert facts.classes["C"].methods == ["m"]
+
+    def test_import_aliases_recorded(self, tmp_path):
+        facts = _facts(
+            "import numpy as np\n"
+            "import repro.util\n"
+            "from repro.util import scale as s\n",
+            tmp_path)
+        assert facts.imports["np"] == "numpy"
+        # plain `import repro.util` binds the root package name
+        assert facts.imports["repro"] == "repro"
+        assert facts.imports["s"] == "repro.util.scale"
+
+    def test_seeded_detection(self, tmp_path):
+        facts = _facts(
+            "import numpy as np\n"
+            "def a(seed):\n"
+            "    return seed\n"
+            "def b(x):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    return x\n"
+            "def c(x):\n"
+            "    return x\n",
+            tmp_path)
+        assert facts.functions["a"].seeded
+        assert facts.functions["b"].seeded
+        assert not facts.functions["c"].seeded
+
+    def test_contract_decorator_detected(self, tmp_path):
+        facts = _facts(
+            "from repro.contracts import shape_contract\n"
+            "@shape_contract('(N, D) f -> (N, D) f')\n"
+            "def f(x):\n"
+            "    return x\n",
+            tmp_path)
+        assert facts.functions["f"].has_contract
+
+    def test_facts_round_trip_through_json(self, tmp_path):
+        facts = _facts(
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "    def m(self, a):\n"
+            "        a *= 2\n"
+            "        return a\n",
+            tmp_path)
+        from repro.analysis.callgraph import ModuleFacts
+        encoded = json.dumps(facts.as_dict(), sort_keys=True)
+        restored = ModuleFacts.from_dict(json.loads(encoded))
+        assert restored.as_dict() == facts.as_dict()
+
+
+class TestResolution:
+    def test_cross_module_via_aliased_import(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/util.py": ("def scale(mat, k):\n"
+                              "    mat *= k\n"
+                              "    return mat\n"),
+            "repro/caller.py": ("from repro.util import scale as s\n"
+                                "def decay(snapshot_w):\n"
+                                "    return s(snapshot_w, 0.5)\n"),
+        })
+        report = analyze_paths([str(root)])
+        assert [f.rule for f in _ra80x(report)] == ["RA801"]
+        assert _ra80x(report)[0].path.endswith("caller.py")
+
+    def test_reexport_hop_through_package_init(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/__init__.py": "from .util import scale\n",
+            "repro/util.py": ("def scale(mat, k):\n"
+                              "    mat *= k\n"
+                              "    return mat\n"),
+            "repro/caller.py": ("from repro import scale\n"
+                                "def decay(snapshot_w):\n"
+                                "    return scale(snapshot_w, 0.5)\n"),
+        })
+        report = analyze_paths([str(root)])
+        assert [f.rule for f in _ra80x(report)] == ["RA801"]
+
+    def test_method_resolution_through_base_class(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/base.py": ("class Base:\n"
+                              "    def step(self, mat):\n"
+                              "        mat += 1\n"
+                              "        return mat\n"),
+            "repro/sub.py": ("from repro.base import Base\n"
+                             "class Sub(Base):\n"
+                             "    def run(self, snapshot_m):\n"
+                             "        return self.step(snapshot_m)\n"),
+        })
+        report = analyze_paths([str(root)])
+        assert [f.rule for f in _ra80x(report)] == ["RA801"]
+
+    def test_method_resolution_through_attribute_type(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/opt.py": ("class Optim:\n"
+                             "    def apply(self, mat):\n"
+                             "        mat *= 0.9\n"
+                             "        return mat\n"),
+            "repro/train.py": ("from repro.opt import Optim\n"
+                               "class Trainer:\n"
+                               "    def __init__(self):\n"
+                               "        self.opt = Optim()\n"
+                               "    def run(self, teacher_w):\n"
+                               "        return self.opt.apply(teacher_w)\n"),
+        })
+        report = analyze_paths([str(root)])
+        assert [f.rule for f in _ra80x(report)] == ["RA801"]
+
+    def test_local_instance_method_resolution(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/opt.py": ("class Optim:\n"
+                             "    def apply(self, mat):\n"
+                             "        mat *= 0.9\n"
+                             "        return mat\n"),
+            "repro/train.py": ("from repro.opt import Optim\n"
+                               "def run(teacher_w):\n"
+                               "    opt = Optim()\n"
+                               "    return opt.apply(teacher_w)\n"),
+        })
+        report = analyze_paths([str(root)])
+        assert [f.rule for f in _ra80x(report)] == ["RA801"]
+
+    def test_higher_order_value_is_unresolved_not_crash(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/hof.py": ("def pick(fns, k, x):\n"
+                             "    fn = fns[k]\n"
+                             "    return fn(x)\n"),
+        })
+        report = analyze_paths([str(root)])
+        # no cycle: the dynamic call alone must not warn or crash
+        assert _ra80x(report) == []
+
+    def test_rng_witness_is_transitive(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/noise.py": ("import random\n"
+                               "def jitter(x):\n"
+                               "    return x + random.random()\n"),
+            "repro/mid.py": ("from repro.noise import jitter\n"
+                             "def perturb(x):\n"
+                             "    return jitter(x)\n"),
+            "repro/runner.py": ("from repro.mid import perturb\n"
+                                "def run(seed, x):\n"
+                                "    return perturb(x)\n"),
+        })
+        report = analyze_paths([str(root)])
+        ra803 = [f for f in _ra80x(report) if f.rule == "RA803"]
+        assert len(ra803) == 1
+        assert ra803[0].path.endswith("runner.py")
+        assert "random.random" in ra803[0].message
+
+    def test_returns_view_composes_across_calls(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/views.py": ("def head(mat):\n"
+                               "    return mat[:2]\n"
+                               "def head2(mat):\n"
+                               "    return head(mat)\n"),
+            "repro/writer.py": ("from repro.views import head2\n"
+                                "def poke(model):\n"
+                                "    h = head2(model.frozen_emb)\n"
+                                "    h += 1\n"
+                                "    return h\n"),
+        })
+        report = analyze_paths([str(root)])
+        ra802 = [f for f in _ra80x(report) if f.rule == "RA802"]
+        assert len(ra802) == 1
+        assert ra802[0].path.endswith("writer.py")
+
+    def test_cycle_with_dynamic_forward_warns_once(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/cyc.py": ("TABLE = {}\n"
+                             "def a(n, payload):\n"
+                             "    op = TABLE[n]\n"
+                             "    op(payload)\n"
+                             "    return b(n, payload)\n"
+                             "def b(n, payload):\n"
+                             "    if n:\n"
+                             "        return a(n - 1, payload)\n"
+                             "    return payload\n"),
+        })
+        report = analyze_paths([str(root)])
+        ra805 = [f for f in _ra80x(report) if f.rule == "RA805"]
+        assert len(ra805) == 1
+        assert ra805[0].severity == "warning"
+
+    def test_noqa_suppresses_project_findings(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/util.py": ("def scale(mat, k):\n"
+                              "    mat *= k\n"
+                              "    return mat\n"),
+            "repro/caller.py": ("from repro.util import scale\n"
+                                "def decay(snapshot_w):\n"
+                                "    return scale(snapshot_w, 0.5)"
+                                "  # repro: noqa[RA801]\n"),
+        })
+        report = analyze_paths([str(root)])
+        assert _ra80x(report) == []
+        assert any(f.rule == "RA801" for f in report.noqa_suppressed)
+
+
+class TestGraphExport:
+    def test_graph_json_and_dot(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/a.py": ("def f(x):\n"
+                           "    x *= 2\n"
+                           "    return x\n"),
+            "repro/b.py": ("from repro.a import f\n"
+                           "def g(x):\n"
+                           "    return f(x)\n"),
+        })
+        report = analyze_paths([str(root)])
+        graph = report.project.graph_as_dict()
+        assert "repro.a.f" in graph["functions"]
+        assert graph["functions"]["repro.a.f"]["summary"]["mutates"] == [0]
+        assert ["repro.b.g", "repro.a.f"] in [e[:2] for e in graph["edges"]]
+        dot = report.project.graph_as_dot()
+        assert '"repro.b.g" -> "repro.a.f";' in dot
+        assert dot.startswith("digraph callgraph {")
+
+
+class TestSummaryCache:
+    def _paths(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/util.py": ("def scale(mat, k):\n"
+                              "    mat *= k\n"
+                              "    return mat\n"),
+            "repro/caller.py": ("from repro.util import scale\n"
+                                "def decay(snapshot_w):\n"
+                                "    return scale(snapshot_w, 0.5)\n"),
+        })
+        return root
+
+    def test_cold_runs_are_byte_identical(self, tmp_path):
+        root = self._paths(tmp_path)
+        c1, c2 = tmp_path / "c1.json", tmp_path / "c2.json"
+        analyze_paths([str(root)], cache=SummaryCache(c1))
+        analyze_paths([str(root)], cache=SummaryCache(c2))
+        assert c1.read_bytes() == c2.read_bytes()
+
+    def test_warm_run_hits_and_matches_cold(self, tmp_path):
+        root = self._paths(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cold = analyze_paths([str(root)], cache=SummaryCache(cache_path))
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        warm = analyze_paths([str(root)], cache=SummaryCache(cache_path))
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert render_json(warm) == render_json(cold)
+        assert [f.rule for f in warm.findings] == \
+            [f.rule for f in cold.findings] == ["RA801"]
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        root = self._paths(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([str(root)], cache=SummaryCache(cache_path))
+        caller = root / "repro" / "caller.py"
+        caller.write_text(caller.read_text().replace(
+            "scale(snapshot_w, 0.5)", "scale(snapshot_w.copy(), 0.5)"))
+        warm = analyze_paths([str(root)], cache=SummaryCache(cache_path))
+        assert warm.cache_hits == 1 and warm.cache_misses == 1
+        assert warm.findings == []
+
+    def test_signature_change_invalidates_everything(self, tmp_path):
+        root = self._paths(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([str(root)], cache=SummaryCache(cache_path))
+        payload = json.loads(cache_path.read_text())
+        payload["rules_signature"] = "0" * 16
+        cache_path.write_text(json.dumps(payload))
+        warm = analyze_paths([str(root)], cache=SummaryCache(cache_path))
+        assert warm.cache_hits == 0 and warm.cache_misses == 2
+
+    def test_select_bypasses_cache(self, tmp_path):
+        root = self._paths(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        report = analyze_paths([str(root)], select=["RA801"],
+                               cache=SummaryCache(cache_path))
+        assert report.cache_hits == 0 and report.cache_misses == 0
+        assert not cache_path.exists()
+
+    def test_signature_is_stable_within_process(self):
+        assert rules_signature() == rules_signature()
+        assert len(rules_signature()) == 16
+
+
+class TestCliSurfaces:
+    def _tree_with_baseline(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/caller.py": ("from repro.util import scale\n"
+                                "def decay(snapshot_w):\n"
+                                "    return scale(snapshot_w.copy(), 0.5)\n"),
+            "repro/util.py": ("def scale(mat, k):\n"
+                              "    mat *= k\n"
+                              "    return mat\n"),
+        })
+        baseline = root / "analysis-baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "findings": [{"fingerprint": "feedfeedfeedfeed",
+                          "rule": "RA801", "path": "gone.py",
+                          "justification": "stale on purpose"}],
+        }))
+        return root, baseline
+
+    def test_fail_stale_gates_clean_runs(self, tmp_path, capsys):
+        root, baseline = self._tree_with_baseline(tmp_path)
+        code = lint_main([str(root), "--baseline", str(baseline),
+                          "--no-cache", "--fail-stale"])
+        assert code == 1
+        assert "stale baseline" in capsys.readouterr().err
+
+    def test_prune_baseline_rewrites_file(self, tmp_path, capsys):
+        root, baseline = self._tree_with_baseline(tmp_path)
+        code = lint_main([str(root), "--baseline", str(baseline),
+                          "--no-cache", "--prune-baseline"])
+        assert code == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["findings"] == []
+        # and the gate passes afterwards
+        assert lint_main([str(root), "--baseline", str(baseline),
+                          "--no-cache", "--fail-stale"]) == 0
+
+    def test_call_graph_cli_export(self, tmp_path, capsys):
+        root, baseline = self._tree_with_baseline(tmp_path)
+        assert lint_main([str(root), "--no-baseline", "--no-cache",
+                          "--call-graph", "json"]) == 0
+        graph = json.loads(capsys.readouterr().out)
+        assert "repro.util.scale" in graph["functions"]
+        assert lint_main([str(root), "--no-baseline", "--no-cache",
+                          "--call-graph", "dot"]) == 0
+        assert "digraph callgraph" in capsys.readouterr().out
+
+
+class TestSarif:
+    def test_sarif_shape_and_fingerprints(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/util.py": ("def scale(mat, k):\n"
+                              "    mat *= k\n"
+                              "    return mat\n"),
+            "repro/caller.py": ("from repro.util import scale\n"
+                                "def decay(snapshot_w):\n"
+                                "    return scale(snapshot_w, 0.5)\n"),
+        })
+        report = analyze_paths([str(root)])
+        sarif = json.loads(render_sarif(report))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "RA801" in rule_ids and rule_ids == sorted(rule_ids)
+        results = run["results"]
+        assert len(results) == 1
+        result = results[0]
+        assert result["ruleId"] == "RA801"
+        assert result["level"] == "error"
+        fp = result["partialFingerprints"]["reproFingerprint/v1"]
+        assert fp == report.findings[0].fingerprint()
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == report.findings[0].line
+
+    def test_sarif_is_deterministic(self, tmp_path):
+        root = _tree(tmp_path, {
+            "repro/a.py": "def f(x):\n    return x\n",
+        })
+        r1 = analyze_paths([str(root)])
+        r2 = analyze_paths([str(root)])
+        assert render_sarif(r1) == render_sarif(r2)

@@ -5,6 +5,7 @@ Usage:  python benchmarks/summarize.py bench_output.txt
             [--lint lint.json] [--contracts src]
             [--robustness robustness.json] [--perf BENCH_perf.json]
             [--obs BENCH_obs.json] [--sanitize BENCH_sanitize.json]
+            [--stream BENCH_stream.json]
 
 Parses the ``===== <title> =====`` sections and the ``N/M shape checks
 hold`` lines the bench harness prints, and emits the markdown summary
@@ -20,7 +21,11 @@ functions / total public functions) is appended as well; with
 ``--obs``, the instrumentation-overhead report emitted by
 ``benchmarks/obs_probe.py`` is folded in as well; with ``--sanitize``,
 the write-guard overhead report emitted by
-``benchmarks/sanitize_probe.py`` is folded in alongside it.
+``benchmarks/sanitize_probe.py`` is folded in alongside it; with
+``--stream``, the streaming-pipeline throughput/quarantine/recovery
+report emitted by ``benchmarks/stream_probe.py`` is folded in too —
+and the events/sec regression floor embedded in that report is
+asserted, so a throughput regression fails the summary step.
 """
 
 from __future__ import annotations
@@ -208,13 +213,55 @@ def parse_sanitize(text: str) -> List[Tuple[str, str]]:
     return rows
 
 
+def parse_stream(text: str) -> List[Tuple[str, str]]:
+    """Turn a ``stream_probe.py`` JSON report into table rows.
+
+    Also enforces the report's embedded events/sec regression floor —
+    a report below its own floor raises, failing the summary step.
+    """
+    payload = json.loads(text)
+    if payload.get("tool") != "repro.stream":
+        raise ValueError(
+            f"not a stream report (tool={payload.get('tool')!r})")
+    throughput = payload.get("throughput", {})
+    quarantine = payload.get("quarantine", {})
+    recovery = payload.get("recovery", {})
+    eps = float(throughput.get("events_per_sec", 0.0))
+    floor = float(throughput.get("events_per_sec_floor", 0.0))
+    if eps < floor:
+        raise ValueError(
+            f"stream throughput regression: {eps} events/sec is below "
+            f"the {floor} floor")
+    reasons = quarantine.get("quarantined", {})
+    per_reason = ", ".join(f"{reason}={count}"
+                           for reason, count in sorted(reasons.items()))
+    rate = quarantine.get("quarantine_rate")
+    latency = recovery.get("recovery_latency_s")
+    rows = [
+        ("throughput",
+         f"{eps:.0f} events/sec (floor {floor:.0f}), journal "
+         f"{throughput.get('journal_overhead_pct', 0):+.1f}%, "
+         f"{throughput.get('intervals_committed', 0)} intervals"),
+        ("quarantine",
+         f"rate {rate:.1%} under fault mix ({per_reason})"
+         if rate is not None else "no faults injected"),
+        ("recovery",
+         f"{latency * 1000:.0f} ms degrade->recover "
+         f"({recovery.get('degraded_spells', 0)} spell(s), final mode "
+         f"{recovery.get('final_mode', '?')})"
+         if latency is not None else "no degradation observed"),
+    ]
+    return rows
+
+
 def to_markdown(sections: List[Tuple[str, int, int]],
                 lint: Optional[Tuple[str, str]] = None,
                 coverage: Optional[List[Tuple[str, int, int]]] = None,
                 robustness: Optional[List[Tuple[str, str]]] = None,
                 perf: Optional[List[Tuple[str, str]]] = None,
                 obs: Optional[List[Tuple[str, str]]] = None,
-                sanitize: Optional[List[Tuple[str, str]]] = None) -> str:
+                sanitize: Optional[List[Tuple[str, str]]] = None,
+                stream: Optional[List[Tuple[str, str]]] = None) -> str:
     lines = ["| experiment | shape checks |", "|---|---|"]
     passed_total = checks_total = 0
     for title, passed, total in sections:
@@ -245,6 +292,9 @@ def to_markdown(sections: List[Tuple[str, int, int]],
     if sanitize:
         for label, cell in sanitize:
             lines.append(f"| sanitize: {label} | {cell} |")
+    if stream:
+        for label, cell in stream:
+            lines.append(f"| stream: {label} | {cell} |")
     return "\n".join(lines)
 
 
@@ -269,9 +319,10 @@ def main(argv: List[str]) -> int:
     perf_path = _take_flag(args, "--perf")
     obs_path = _take_flag(args, "--obs")
     sanitize_path = _take_flag(args, "--sanitize")
+    stream_path = _take_flag(args, "--stream")
     if (lint_path == "" or contracts_root == "" or robustness_path == ""
             or perf_path == "" or obs_path == "" or sanitize_path == ""
-            or len(args) != 1):
+            or stream_path == "" or len(args) != 1):
         print(__doc__)
         return 2
     text = Path(args[0]).read_text()
@@ -326,9 +377,17 @@ def main(argv: List[str]) -> int:
             print(f"error: could not read sanitize report "
                   f"{sanitize_path}: {exc}", file=sys.stderr)
             return 2
+    stream = None
+    if stream_path is not None:
+        try:
+            stream = parse_stream(Path(stream_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: could not read stream report "
+                  f"{stream_path}: {exc}", file=sys.stderr)
+            return 2
     print(to_markdown(sections, lint=lint, coverage=coverage,
                       robustness=robustness, perf=perf, obs=obs,
-                      sanitize=sanitize))
+                      sanitize=sanitize, stream=stream))
     return 0
 
 

@@ -23,7 +23,15 @@ Commands
 ``trace summarize DIR``
     Render the spans, decision events, and metrics of a trace written
     with ``run --trace-dir`` (:mod:`repro.obs`); ``--json`` emits the
-    raw summary structure instead.
+    raw summary structure instead; ``--stream`` prints only the
+    streaming-pipeline rollup (quarantine/backoff/degradation counts).
+``stream run DATASET MODEL STRATEGY``
+    Prequential (test-then-learn) streaming run over the dataset's
+    event stream with the full robustness envelope — validation gate +
+    quarantine, offset-journaled exactly-once commits, retry-with-
+    backoff, graceful degradation (:mod:`repro.stream`).
+    ``--checkpoint-dir`` + ``--resume`` continue a crashed run
+    metric-identically from its last committed interval.
 """
 
 from __future__ import annotations
@@ -134,6 +142,45 @@ def build_parser() -> argparse.ArgumentParser:
                                   "file itself)")
     p_summarize.add_argument("--json", action="store_true",
                              help="emit the raw summary structure as JSON")
+    p_summarize.add_argument("--stream", action="store_true",
+                             help="print only the streaming-pipeline "
+                                  "rollup (quarantine/backoff/degradation "
+                                  "counts per run)")
+
+    p_stream = sub.add_parser(
+        "stream", help="resilient prequential streaming (repro.stream)")
+    stream_sub = p_stream.add_subparsers(dest="stream_command", required=True)
+    p_stream_run = stream_sub.add_parser(
+        "run", help="test-then-learn over the dataset's event stream")
+    p_stream_run.add_argument("dataset", choices=DATASET_NAMES)
+    p_stream_run.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    p_stream_run.add_argument("strategy", choices=sorted(STRATEGY_REGISTRY))
+    p_stream_run.add_argument("--scale", type=float, default=1.0)
+    p_stream_run.add_argument("--epochs", type=int, default=10,
+                              help="pretraining epochs before streaming")
+    p_stream_run.add_argument("--seed", type=int, default=0)
+    p_stream_run.add_argument("--dim", type=int, default=32)
+    p_stream_run.add_argument("--interests", type=int, default=4)
+    p_stream_run.add_argument("--events", type=int, default=None,
+                              help="stream only the first N events")
+    p_stream_run.add_argument("--checkpoint-every", type=int, default=32,
+                              help="events per commit interval")
+    p_stream_run.add_argument("--window", type=int, default=64,
+                              help="sliding-window length for recall/NDCG")
+    p_stream_run.add_argument("--min-window-recall", type=float, default=0.0,
+                              help="degrade to score-only below this "
+                                   "sliding-window recall (0 disables)")
+    p_stream_run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                              help="offset-journal the run: one atomic "
+                                   "checkpoint per interval plus "
+                                   "stream-journal.json in DIR")
+    p_stream_run.add_argument("--resume", action="store_true",
+                              help="continue an interrupted stream from "
+                                   "its last committed interval")
+    p_stream_run.add_argument("--trace-dir", default=None, metavar="DIR",
+                              help="record spans/events/metrics (repro.obs)")
+    p_stream_run.add_argument("--json", action="store_true",
+                              help="emit the result summary as JSON")
 
     return parser
 
@@ -300,7 +347,12 @@ def cmd_contracts(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     import json
 
-    from .obs import TraceError, render_summary, summarize_trace
+    from .obs import (
+        TraceError,
+        render_stream_summary,
+        render_summary,
+        summarize_trace,
+    )
 
     if args.trace_command == "summarize":
         try:
@@ -308,12 +360,81 @@ def cmd_trace(args: argparse.Namespace) -> int:
         except TraceError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        if args.json:
+        if args.stream:
+            if args.json:
+                print(json.dumps(summary.get("stream"), indent=2,
+                                 sort_keys=True))
+            else:
+                print(render_stream_summary(summary))
+        elif args.json:
             print(json.dumps(summary, indent=2, sort_keys=True))
         else:
             print(render_summary(summary))
         return 0
     raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from .stream import StreamConfig, events_from_split, run_stream
+
+    configure_logging()
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    _, split = load_dataset(args.dataset, scale=args.scale)
+    config = default_config(
+        epochs_pretrain=args.epochs,
+        epochs_incremental=max(2, int(round(args.epochs * 0.4))),
+        seed=args.seed,
+    )
+    strategy = make_strategy(
+        args.strategy, args.model, split, config,
+        model_kwargs={"dim": args.dim, "num_interests": args.interests},
+    )
+    events = events_from_split(split, seed=args.seed)
+    if args.events is not None:
+        events = events[:args.events]
+    stream_config = StreamConfig(
+        checkpoint_every=args.checkpoint_every,
+        window=args.window,
+        min_window_recall=args.min_window_recall,
+    )
+    result = run_stream(
+        strategy, events=events, config=stream_config,
+        dataset_name=args.dataset, model_name=args.model,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        trace_dir=args.trace_dir)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [
+            {"interval": r.interval, "offset": r.offset,
+             "trained": r.trained, "quarantined": r.quarantined,
+             "mode": r.mode,
+             "window HR@20": (f"{r.window_recall:.4f}"
+                              if r.window_recall is not None else "-")}
+            for r in result.intervals
+        ]
+        print(format_table(rows))
+        recall = (f"{result.window_recall:.4f}"
+                  if result.window_recall is not None else "-")
+        print(f"stream: {result.events} events, {result.scored} scored, "
+              f"{result.trained} trained, "
+              f"{result.quarantined_total} quarantined, "
+              f"window HR@20={recall}, mode={result.mode}")
+    if result.resumed_from is not None:
+        logger.info("resumed: interval %s reused from %s",
+                    result.resumed_from, args.checkpoint_dir)
+    if result.degraded_spells:
+        logger.warning("degraded %s time(s), recovered %s time(s)",
+                       result.degraded_spells, result.recoveries)
+    if args.trace_dir is not None:
+        print(f"trace: {args.trace_dir}/trace.jsonl (inspect with "
+              f"`repro trace summarize --stream {args.trace_dir}`)")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -334,6 +455,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_contracts(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "stream":
+        return cmd_stream(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

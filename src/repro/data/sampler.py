@@ -45,6 +45,17 @@ class NegativeSampler:
             collisions = negatives == target
         return negatives
 
+    def grow(self, num_items: int) -> None:
+        """Widen the catalog (mid-stream item cold start); never shrinks.
+
+        ``num_negatives`` stays at its constructed value — it was only
+        clamped when the original catalog was too small to honor it, and
+        re-raising it mid-stream would change the loss scale across a
+        growth boundary.
+        """
+        if num_items > self.num_items:
+            self.num_items = int(num_items)
+
     def sample_batch(self, targets) -> np.ndarray:
         """Negatives for many targets in one vectorized draw.
 

@@ -1,7 +1,13 @@
 """Experiment harness: drivers for every table and figure in the paper."""
 
 from .runner import RunResult, default_config, make_strategy, run, run_repeated, run_strategy
-from .journal import JOURNAL_NAME, JournalError, SpanJournal, SpanRecord
+from .journal import (
+    JOURNAL_NAME,
+    JournalError,
+    JournalIOError,
+    SpanJournal,
+    SpanRecord,
+)
 from .reporting import (
     format_table,
     relative_improvement,
@@ -32,6 +38,7 @@ __all__ = [
     "run_strategy",
     "JOURNAL_NAME",
     "JournalError",
+    "JournalIOError",
     "SpanJournal",
     "SpanRecord",
     "format_table",

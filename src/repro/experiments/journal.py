@@ -35,11 +35,21 @@ PathLike = Union[str, Path]
 _JOURNAL_VERSION = 1
 JOURNAL_NAME = "journal.json"
 
-__all__ = ["SpanJournal", "SpanRecord", "JournalError", "JOURNAL_NAME"]
+__all__ = ["SpanJournal", "SpanRecord", "JournalError", "JournalIOError",
+           "JOURNAL_NAME"]
 
 
 class JournalError(ValueError):
     """The journal is malformed or does not match the current run."""
+
+
+class JournalIOError(JournalError, OSError):
+    """The journal could not be *read* due to an IO failure.
+
+    Transient (a retry may succeed), unlike plain :class:`JournalError`
+    corruption — the streaming pipeline's retry-with-backoff catches
+    this (it is an ``OSError``) but treats corruption as terminal.
+    """
 
 
 @dataclass
@@ -154,9 +164,14 @@ class SpanJournal:
         if not path.exists():
             raise JournalError(f"no journal at {path}")
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise JournalError(f"journal {path} is unreadable: {exc}") from exc
+            text = path.read_text()
+        except OSError as err:
+            raise JournalIOError(
+                f"journal {path} cannot be read: {err}") from err
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise JournalError(f"journal {path} is corrupt: {err}") from err
         if payload.get("version") != _JOURNAL_VERSION:
             raise JournalError(
                 f"unsupported journal version {payload.get('version')!r}")

@@ -147,6 +147,26 @@ class MSRModel(Module):
         """Per-user trainable parameters (empty for DR models)."""
         return [s.sa_weights for s in states if s.sa_weights is not None]
 
+    def grow_items(self, new_num_items: int,
+                   rng: Optional[np.random.Generator] = None) -> int:
+        """Grow the item-embedding table to ``new_num_items`` rows.
+
+        Mid-stream item cold start: a streaming event may reference an
+        item id beyond the catalog the model was built with.  Pass
+        ``rng`` (usually ``self.rng``) to draw the new rows exactly as at
+        construction time — a resumed run replaying the same growth from
+        the same restored generator state then reproduces the same table.
+        ``rng=None`` appends zero rows (the checkpoint-restore path, where
+        the real values are loaded immediately afterwards).  Returns the
+        number of rows added; never shrinks.
+        """
+        added = int(new_num_items) - self.num_items
+        if added <= 0:
+            return 0
+        self.item_emb.grow(added, rng)
+        self.num_items = int(new_num_items)
+        return added
+
     # ------------------------------------------------------------------ #
     # modelling
     # ------------------------------------------------------------------ #

@@ -49,6 +49,7 @@ class Embedding(Module):
         self.num_embeddings = num_embeddings
         self.dim = dim
         self.padding_idx = padding_idx
+        self.std = std
         table = init.normal((num_embeddings, dim), rng, std=std)
         if padding_idx is not None:
             table[padding_idx] = 0.0
@@ -70,3 +71,21 @@ class Embedding(Module):
         """Re-zero the padding row (call after an optimizer step)."""
         if self.padding_idx is not None:
             self.weight.data[self.padding_idx] = 0.0
+
+    def grow(self, num_new: int, rng: Optional[np.random.Generator] = None) -> None:
+        """Append ``num_new`` rows to the table (mid-stream cold start).
+
+        With ``rng`` the new rows are drawn exactly as at construction time
+        (``N(0, std^2)``), so a resumed run that replays the same growth with
+        the same generator state reproduces the same table. Without ``rng``
+        the rows are zero-filled — the checkpoint-restore path, where real
+        values are loaded immediately afterwards.
+        """
+        if num_new <= 0:
+            return
+        if rng is not None:
+            new_rows = init.normal((num_new, self.dim), rng, std=self.std)
+        else:
+            new_rows = init.zeros((num_new, self.dim))
+        self.weight.data = np.concatenate([self.weight.data, new_rows], axis=0)
+        self.num_embeddings += num_new

@@ -107,7 +107,32 @@ class Adam(Optimizer):
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
+            self._sync_grown_rows(i, p)
             self._dense_update(i, p)
+
+    def _sync_grown_rows(self, i: int, p: Parameter) -> None:
+        """Zero-pad moment state when a row-sparse parameter gained rows.
+
+        Mid-stream cold start grows embedding tables in place
+        (:meth:`repro.nn.layers.Embedding.grow`); the new rows start with
+        zero first/second moments — exactly the state a freshly
+        constructed optimizer would hold for them — while the moments of
+        every pre-existing row are left byte-identical.
+        """
+        m = self._m[i]
+        if m.shape == p.data.shape:
+            return
+        if not (getattr(p, "row_sparse", False)
+                and m.ndim == p.data.ndim and p.data.ndim >= 1
+                and m.shape[1:] == p.data.shape[1:]
+                and m.shape[0] < p.data.shape[0]):
+            raise ValueError(
+                f"optimizer state shape {m.shape} does not match parameter "
+                f"shape {p.data.shape} and the parameter is not a row-grown "
+                f"embedding table")
+        pad = np.zeros((p.data.shape[0] - m.shape[0],) + m.shape[1:])
+        self._m[i] = np.concatenate([m, pad], axis=0)
+        self._v[i] = np.concatenate([self._v[i], np.zeros_like(pad)], axis=0)
 
     def _dense_update(self, i: int, p: Parameter) -> None:
         grad = p.grad
@@ -166,12 +191,22 @@ class SparseAdam(Adam):
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
+            self._sync_grown_rows(i, p)
             rows = touched_rows(p)
             if rows is None or p.data.ndim < 1:
                 self._dense_update(i, p)
                 continue
             self._sparse_update(i, p, rows)
             p._touched_rows = []  # consumed: next step starts a fresh recording
+
+    def _sync_grown_rows(self, i: int, p: Parameter) -> None:
+        super()._sync_grown_rows(i, p)
+        last = self._last_step.get(i)
+        if last is not None and last.shape[0] < p.data.shape[0]:
+            # new rows read as "last updated at step 0": their closed-form
+            # catch-up decays zero moments, i.e. a no-op, matching dense
+            pad = np.zeros(p.data.shape[0] - last.shape[0], dtype=np.int64)
+            self._last_step[i] = np.concatenate([last, pad])
 
     def _sparse_update(self, i: int, p: Parameter, rows: np.ndarray) -> None:
         self._steps[i] += 1

@@ -27,7 +27,9 @@ from .metrics import (
 )
 from .summary import (
     read_trace,
+    render_stream_summary,
     render_summary,
+    stream_rollup,
     summarize_trace,
     trace_fingerprint,
 )
@@ -90,4 +92,6 @@ __all__ = [
     "trace_fingerprint",
     "summarize_trace",
     "render_summary",
+    "render_stream_summary",
+    "stream_rollup",
 ]

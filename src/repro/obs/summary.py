@@ -30,8 +30,10 @@ __all__ = [
     "trace_fingerprint",
     "decision_events",
     "span_rollup",
+    "stream_rollup",
     "summarize_trace",
     "render_summary",
+    "render_stream_summary",
 ]
 
 
@@ -113,6 +115,52 @@ def _field(record: Dict[str, Any], key: str, default=None):
     return record.get("fields", {}).get(key, default)
 
 
+def stream_rollup(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Aggregate the streaming pipeline's decision events.
+
+    Answers the operator's questions about a ``repro.stream`` run from
+    the trace alone: how much was quarantined and why, how often commit
+    IO backed off, when the pipeline degraded/recovered, and what the
+    commit cadence looked like.  Returns None when the trace holds no
+    stream events (e.g. a span-based run).
+    """
+    stream_events = [e for e in decision_events(events)
+                     if str(e.get("name", "")).startswith("stream.")]
+    if not stream_events:
+        return None
+    quarantined: Dict[str, int] = {}
+    for record in decision_events(events, "stream.quarantined"):
+        reason = str(_field(record, "reason"))
+        quarantined[reason] = quarantined.get(reason, 0) + 1
+    committed = decision_events(events, "stream.committed")
+    return {
+        "quarantined": dict(sorted(quarantined.items())),
+        "quarantined_total": sum(quarantined.values()),
+        "backoffs": len(decision_events(events, "stream.backoff")),
+        "backpressure_drops": len(
+            decision_events(events, "stream.backpressure")),
+        "degradations": [
+            {"interval": _field(e, "interval"),
+             "reason": _field(e, "reason"),
+             "rollback": _field(e, "rollback")}
+            for e in decision_events(events, "stream.degraded")
+        ],
+        "recoveries": [
+            {"interval": _field(e, "interval"),
+             "retrained": _field(e, "retrained")}
+            for e in decision_events(events, "stream.recovered")
+        ],
+        "intervals_committed": len(committed),
+        "last_offset": (max(int(_field(e, "offset", 0)) for e in committed)
+                        if committed else None),
+        "resumes": [
+            {"interval": _field(e, "interval"),
+             "offset": _field(e, "offset")}
+            for e in decision_events(events, "stream.resumed")
+        ],
+    }
+
+
 def summarize_trace(target: PathLike) -> Dict[str, Any]:
     """Aggregate a trace into the structure the CLI renders.
 
@@ -175,6 +223,7 @@ def summarize_trace(target: PathLike) -> Dict[str, Any]:
         ],
         "spans_committed": sorted(
             _field(e, "span_id") for e in committed),
+        "stream": stream_rollup(events),
         "log_lines": len(logs),
         "metrics": metrics,
     }
@@ -257,4 +306,48 @@ def render_summary(summary: Dict[str, Any]) -> str:
             else:
                 cell = f"value={state.get('value')}"
             lines.append(f"  {name:<{width}}  {cell}")
+
+    stream = summary.get("stream")
+    if stream is not None:
+        lines.append(render_stream_summary(summary, header="stream:"))
+    return "\n".join(lines)
+
+
+def render_stream_summary(summary: Dict[str, Any],
+                          header: str = "stream:") -> str:
+    """Render the ``stream`` section of a summary (``--stream`` rollup)."""
+    stream = summary.get("stream")
+    if stream is None:
+        return "no stream events in this trace"
+    lines = [header]
+    lines.append(
+        f"  committed      {stream['intervals_committed']} interval(s)"
+        + (f", last offset {stream['last_offset']}"
+           if stream.get("last_offset") is not None else ""))
+    quarantined = stream.get("quarantined", {})
+    if quarantined:
+        per_reason = ", ".join(f"{reason}={count}" for reason, count
+                               in quarantined.items())
+        lines.append(f"  quarantined    {stream['quarantined_total']} "
+                     f"event(s): {per_reason}")
+    else:
+        lines.append("  quarantined    none")
+    lines.append(f"  backoffs       {stream['backoffs']} retry(ies)")
+    if stream.get("backpressure_drops"):
+        lines.append(f"  backpressure   {stream['backpressure_drops']} "
+                     f"event(s) dropped from the ingest buffer")
+    degradations = stream.get("degradations", [])
+    if degradations:
+        for entry in degradations:
+            rollback = " (rolled back)" if entry.get("rollback") else ""
+            lines.append(f"  degraded       interval {entry['interval']}: "
+                         f"{entry['reason']}{rollback}")
+    else:
+        lines.append("  degraded       never")
+    for entry in stream.get("recoveries", []):
+        lines.append(f"  recovered      interval {entry['interval']}: "
+                     f"{entry['retrained']} queued event(s) retrained")
+    for entry in stream.get("resumes", []):
+        lines.append(f"  resumed        from interval {entry['interval']} "
+                     f"at offset {entry['offset']}")
     return "\n".join(lines)

@@ -52,6 +52,7 @@ import numpy as np
 
 from . import faults
 from .incremental.strategy import IncrementalStrategy
+from .models.base import UserState
 from .nn import Parameter
 from .obs import trace as obs
 from .sanitize import capture as _capture
@@ -70,6 +71,7 @@ _TRAILER_LEN = 1 + len(_TRAILER_MARKER) + 64 + 1
 
 __all__ = [
     "CheckpointError",
+    "CheckpointIOError",
     "save_checkpoint",
     "load_checkpoint",
     "verify_checkpoint",
@@ -82,6 +84,17 @@ __all__ = [
 
 class CheckpointError(ValueError):
     """A checkpoint is corrupt, truncated, or incompatible."""
+
+
+class CheckpointIOError(CheckpointError, OSError):
+    """A checkpoint could not be *read* due to an IO failure.
+
+    Distinct from plain :class:`CheckpointError` (corruption — retrying
+    cannot help) so retry logic such as the streaming pipeline's
+    seeded backoff (:mod:`repro.stream`) can tell a transient fault
+    (``except CheckpointIOError`` / ``except OSError``) from a poisoned
+    file it must fall back from.
+    """
 
 
 def normalize_checkpoint_path(path: PathLike) -> Path:
@@ -259,7 +272,11 @@ def _read_archive(path: Path, verify: bool = True):
     """
     if not path.exists():
         raise CheckpointError(f"checkpoint {path} does not exist")
-    data = path.read_bytes()
+    try:
+        data = path.read_bytes()
+    except OSError as err:
+        raise CheckpointIOError(
+            f"checkpoint {path} cannot be read: {err}") from err
     blob, declared_digest = _split_trailer(data)
     if verify and declared_digest is not None:
         actual = hashlib.sha256(blob).hexdigest()
@@ -335,7 +352,8 @@ def verify_checkpoint(path: PathLike) -> Dict[str, object]:
 
 
 def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
-                    strict: bool = True) -> Dict[str, object]:
+                    strict: bool = True,
+                    create_missing: bool = False) -> Dict[str, object]:
     """Restore a checkpoint into ``strategy`` in place.
 
     The strategy must be built on the same model architecture and data
@@ -346,7 +364,17 @@ def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
 
     ``strict`` (default) raises when the checkpoint contains users the
     strategy does not know; pass ``strict=False`` to skip them with a
-    logged warning instead (e.g. loading into a truncated split).
+    logged warning instead (e.g. loading into a truncated split), or
+    ``create_missing=True`` to build their :class:`UserState` directly
+    from the checkpoint arrays — the streaming resume path, where users
+    were created mid-stream and exist in no split.
+
+    Row-sparse model parameters (embedding tables) may hold *more* rows
+    than the checkpoint: the checkpointed rows restore as a prefix and
+    the extra rows are left untouched.  That is the mid-stream cold-start
+    rollback case — rows grown after the checkpoint was written keep
+    their current values (they are cold items; nothing older references
+    them).  Any other shape mismatch still raises.
 
     Returns the checkpoint manifest.
     """
@@ -370,14 +398,20 @@ def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
     for name, arr in ckpt_params.items():
         if name not in params:
             raise KeyError(f"checkpoint parameter {name!r} not in model")
-        if params[name].data.shape != arr.shape:
-            raise CheckpointError(
-                f"shape mismatch for parameter {name!r}: "
-                f"{params[name].data.shape} vs {arr.shape}")
+        target = params[name].data
+        if target.shape != arr.shape:
+            row_grown = (getattr(params[name], "row_sparse", False)
+                         and arr.ndim == target.ndim and target.ndim >= 1
+                         and arr.shape[1:] == target.shape[1:]
+                         and arr.shape[0] <= target.shape[0])
+            if not row_grown:
+                raise CheckpointError(
+                    f"shape mismatch for parameter {name!r}: "
+                    f"{params[name].data.shape} vs {arr.shape}")
 
     users = [int(u) for u in meta["users"]]
     unknown = [u for u in users if u not in strategy.states]
-    if unknown:
+    if unknown and not create_missing:
         if strict:
             raise CheckpointError(
                 f"checkpoint contains {len(unknown)} user(s) absent from "
@@ -404,12 +438,25 @@ def load_checkpoint(strategy: IncrementalStrategy, path: PathLike,
             f"into {type(strategy).__name__}: {exc}") from exc
 
     for name, arr in ckpt_params.items():
-        params[name].data[...] = arr
+        target = params[name].data
+        if target.shape != arr.shape:
+            target[:arr.shape[0]] = arr  # repro: noqa[RA601] restore-in-place is the point; row-grown prefix validated above
+        else:
+            target[...] = arr  # repro: noqa[RA601] restore-in-place is the point; no tape is live during load
 
     for user in users:
         state = strategy.states.get(user)
         if state is None:
-            continue  # counted above; strict mode already raised
+            if not create_missing:
+                continue  # counted above; strict mode already raised
+            state = UserState(
+                user=user,
+                interests=np.zeros((0, strategy.model.dim)),
+                prev_interests=np.zeros((0, strategy.model.dim)),
+                created_span=np.zeros(0, dtype=np.int64),
+                n_existing=0,
+            )
+            strategy.states[user] = state
         state.interests = _capture(arrays[f"user/{user}/interests"].copy())
         state.prev_interests = _capture(
             arrays[f"user/{user}/prev_interests"].copy())

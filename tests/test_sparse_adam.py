@@ -190,3 +190,64 @@ class TestSparseAdamTraining:
         assert np.isfinite(sparse.hr) and np.isfinite(sparse.ndcg)
         assert abs(dense.hr - sparse.hr) < 0.05
         assert abs(dense.ndcg - sparse.ndcg) < 0.05
+
+
+class TestMomentRowGrowth:
+    """Mid-stream cold start grows the embedding table in place; the
+    optimizer's moment rows must follow — new rows zero (what a fresh
+    optimizer would hold), pre-existing rows byte-identical."""
+
+    def test_sparse_moments_grow_existing_rows_untouched(self, rng):
+        emb = make_table(rng, rows=10, dim=5)
+        opt = SparseAdam([emb.weight], lr=0.01)
+        lookup_and_grad(emb, [0, 1, 2, 3], np.ones((4, 5)))
+        opt.step()
+        m_before = opt._m[0].copy()
+        v_before = opt._v[0].copy()
+        last_before = opt._last_step[0].copy()
+
+        emb.grow(4, rng=np.random.default_rng(9))
+        opt.zero_grad()
+        lookup_and_grad(emb, [10, 11], np.ones((2, 5)))
+        opt.step()
+
+        assert opt._m[0].shape == (14, 5)
+        np.testing.assert_array_equal(opt._m[0][:10], m_before)
+        np.testing.assert_array_equal(opt._v[0][:10], v_before)
+        np.testing.assert_array_equal(opt._last_step[0][:10], last_before)
+        # grown rows that were never touched stay at zero moments
+        np.testing.assert_array_equal(opt._m[0][12:], 0.0)
+        np.testing.assert_array_equal(opt._v[0][12:], 0.0)
+
+    def test_grown_row_update_matches_fresh_optimizer(self, rng):
+        """A grown row's first update must equal the update a freshly
+        constructed optimizer would apply (zero moments, same step)."""
+        emb = make_table(np.random.default_rng(3), rows=10, dim=5)
+        emb.grow(2, rng=np.random.default_rng(9))
+        grown = emb.weight.data[10:].copy()
+
+        opt = SparseAdam([emb.weight], lr=0.01)  # fresh: knows 12 rows
+        lookup_and_grad(emb, [10, 11], np.full((2, 5), 0.5))
+        opt.step()
+        fresh_result = emb.weight.data[10:].copy()
+
+        emb2 = make_table(np.random.default_rng(3), rows=10, dim=5)
+        opt2 = SparseAdam([emb2.weight], lr=0.01)  # constructed pre-growth
+        emb2.grow(2, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(emb2.weight.data[10:], grown)
+        lookup_and_grad(emb2, [10, 11], np.full((2, 5), 0.5))
+        opt2.step()
+        np.testing.assert_array_equal(emb2.weight.data[10:], fresh_result)
+
+    def test_dense_adam_moments_grow_too(self, rng):
+        emb = make_table(rng, rows=8, dim=4)
+        emb.weight._touched_rows = None  # force the dense path
+        opt = Adam([emb.weight], lr=0.01)
+        lookup_and_grad(emb, [0, 1], np.ones((2, 4)))
+        opt.step()
+        emb.grow(3, rng=np.random.default_rng(1))
+        opt.zero_grad()
+        lookup_and_grad(emb, [8, 9, 10], np.ones((3, 4)))
+        opt.step()
+        assert opt._m[0].shape == (11, 4)
+        assert opt._v[0].shape == (11, 4)

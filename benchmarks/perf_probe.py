@@ -3,10 +3,10 @@
 
 Usage:  PYTHONPATH=src python benchmarks/perf_probe.py
             [--repeats N] [--out BENCH_perf.json]
-            [--users-per-batch B]
+            [--users-per-batch B] [--scales small,large,xlarge]
 
 Times the three batched layers this repo ships against their per-user
-counterparts, at two world scales:
+counterparts, at three world scales:
 
 * **train** — one epoch of the shared training loop, per-user
   (``users_per_batch=1``, the paper-exact path) vs micro-batched
@@ -17,6 +17,12 @@ counterparts, at two world scales:
   (``rank_of_target`` per test item) vs the vectorized evaluator
   (``evaluate_span`` with ``batch_score_fn`` + ``ranks_of_targets``),
   plus the stacked-GEMM scoring mode as extra headroom.
+
+Each scale also carries a **backend** section: the same batched train /
+extract / eval spans re-run under the opt-in ``fast`` compute backend
+(float32 + pooled scratch + fused kernels), with speedups measured
+against the default-backend batched path and the HR/NDCG drift against
+the default-backend metrics recorded alongside.
 
 Emits a JSON report (``BENCH_perf.json`` in CI) that
 ``benchmarks/summarize.py --perf`` folds into the markdown summary, so
@@ -30,10 +36,11 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.backend import use_backend
 from repro.data import WorldConfig, generate_world, split_time_spans
 from repro.eval import evaluate_span
 from repro.eval.metrics import hit_at_k, ndcg_at_k, rank_of_target
@@ -55,6 +62,12 @@ SCALES = {
         init_topics_per_user=(2, 4), new_topic_rate=0.6, num_spans=3,
         pretrain_events_per_user=(24, 40), span_events_per_user=(10, 16),
         initial_catalog_fraction=0.8, span_activity=0.95, seed=13,
+    ),
+    "xlarge": WorldConfig(
+        num_users=192, num_items=1600, num_topics=16,
+        init_topics_per_user=(2, 4), new_topic_rate=0.6, num_spans=3,
+        pretrain_events_per_user=(24, 40), span_events_per_user=(10, 16),
+        initial_catalog_fraction=0.8, span_activity=0.95, seed=17,
     ),
 }
 
@@ -154,6 +167,28 @@ def measure_scale(scale: str, repeats: int, users_per_batch: int) -> dict:
             f"stacked batched evaluator diverged from the legacy loop: "
             f"{legacy} vs hr={stacked_result.hr} ndcg={stacked_result.ndcg}")
 
+    # ---- backend: batched spans re-run under the fast backend -------- #
+    with use_backend("fast"):
+        fast_train = best_of(
+            lambda: strategy_for(users_per_batch).pretrain(), repeats)
+        fast_probe = strategy_for(users_per_batch)
+        fast_probe.pretrain()
+        fast_payloads = build_payloads(split.pretrain, fast_probe.config)
+        fast_jobs = [(fast_probe.states[p.user], p.history)
+                     for p in fast_payloads]
+        fast_extract = best_of(
+            lambda: batched_compute_interests(fast_probe.model, fast_jobs),
+            repeats)
+
+        def run_fast_eval():
+            return evaluate_span(
+                fast_probe.score_user, span, targets="all",
+                batch_score_fn=lambda users: fast_probe.score_users(
+                    users, exact=False))
+
+        fast_result = run_fast_eval()
+        fast_eval = best_of(run_fast_eval, repeats)
+
     return {
         "train": {
             "per_user_s": round(per_user_train, 4),
@@ -174,17 +209,33 @@ def measure_scale(scale: str, repeats: int, users_per_batch: int) -> dict:
             "hr": round(stacked_result.hr, 6),
             "ndcg": round(stacked_result.ndcg, 6),
         },
+        "backend": {
+            "name": "fast",
+            "train_s": round(fast_train, 4),
+            "train_speedup": round(batched_train / max(fast_train, 1e-9), 2),
+            "extract_s": round(fast_extract, 4),
+            "extract_speedup": round(
+                batched_extract / max(fast_extract, 1e-9), 2),
+            "eval_s": round(fast_eval, 4),
+            "eval_speedup": round(stacked_eval / max(fast_eval, 1e-9), 2),
+            "hr": round(fast_result.hr, 6),
+            "ndcg": round(fast_result.ndcg, 6),
+            "hr_drift": round(abs(fast_result.hr - legacy["hr"]), 6),
+            "ndcg_drift": round(abs(fast_result.ndcg - legacy["ndcg"]), 6),
+        },
     }
 
 
-def measure(repeats: int = 3, users_per_batch: int = 8) -> dict:
+def measure(repeats: int = 3, users_per_batch: int = 8,
+            scales: Optional[List[str]] = None) -> dict:
     report = {
         "version": 1,
         "tool": "repro.perf",
         "users_per_batch": users_per_batch,
         "scales": {},
     }
-    for scale, cfg in SCALES.items():
+    for scale in (scales if scales is not None else list(SCALES)):
+        cfg = SCALES[scale]
         report["scales"][scale] = {
             "world": {"users": cfg.num_users, "items": cfg.num_items,
                       "spans": cfg.num_spans},
@@ -199,11 +250,22 @@ def main(argv: List[str]) -> int:
                         help="best-of repeats per timing (default 3)")
     parser.add_argument("--users-per-batch", type=int, default=8,
                         help="micro-batch group size (default 8)")
+    parser.add_argument("--scales", default=None, metavar="A,B",
+                        help="comma-separated subset of scales to run "
+                             f"(default all: {','.join(SCALES)})")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="write the JSON report here (default stdout)")
     args = parser.parse_args(argv)
+    scales = None
+    if args.scales is not None:
+        scales = [s.strip() for s in args.scales.split(",") if s.strip()]
+        unknown = [s for s in scales if s not in SCALES]
+        if unknown:
+            parser.error(f"unknown scale(s) {unknown}; "
+                         f"choose from {list(SCALES)}")
     report = measure(repeats=args.repeats,
-                     users_per_batch=args.users_per_batch)
+                     users_per_batch=args.users_per_batch,
+                     scales=scales)
     payload = json.dumps(report, indent=2)
     if args.out:
         with open(args.out, "w") as fh:
@@ -212,6 +274,13 @@ def main(argv: List[str]) -> int:
             print(f"{scale}: train x{entry['train']['speedup']}  "
                   f"extract x{entry['extract']['speedup']}  "
                   f"eval x{entry['eval']['speedup']}")
+            backend = entry.get("backend")
+            if backend:
+                print(f"{scale} [{backend['name']}]: "
+                      f"train x{backend['train_speedup']}  "
+                      f"extract x{backend['extract_speedup']}  "
+                      f"eval x{backend['eval_speedup']}  "
+                      f"hr_drift {backend['hr_drift']}")
     else:
         print(payload)
     return 0

@@ -171,6 +171,17 @@ def parse_perf(text: str) -> List[Tuple[str, str]]:
             f"{world.get('items', '?')}i, B={upb})",
             "  ".join(cells),
         ))
+        backend = entry.get("backend")
+        if backend:
+            # speedups here are measured against the *batched default*
+            # path above, not the per-user baseline
+            rows.append((
+                f"{scale} [{backend.get('name', '?')} backend]",
+                f"train x{backend.get('train_speedup', 0)}  "
+                f"extract x{backend.get('extract_speedup', 0)}  "
+                f"eval x{backend.get('eval_speedup', 0)}  "
+                f"hr_drift {backend.get('hr_drift', 0)}",
+            ))
     return rows
 
 

@@ -22,7 +22,7 @@ Layered public API:
   (hierarchical spans, JSONL traces, ``repro trace summarize``).
 """
 
-from . import analysis, autograd, data, eval, experiments, incremental, lifelong, models, nn
+from . import analysis, autograd, backend, data, eval, experiments, incremental, lifelong, models, nn
 from . import faults, obs, persistence, sanitize
 
 __version__ = "1.0.0"
@@ -30,6 +30,7 @@ __version__ = "1.0.0"
 __all__ = [
     "analysis",
     "autograd",
+    "backend",
     "nn",
     "data",
     "models",

@@ -541,3 +541,65 @@ class OverbroadExcept(Rule):
                     ctx, node,
                     f"'except {node.type.id}: pass' silently swallows every "
                     f"failure; narrow the exception or handle it")
+
+
+# --------------------------------------------------------------------- #
+# RA9xx — compute-backend discipline
+# --------------------------------------------------------------------- #
+
+#: raw numpy GEMM-family entry points that bypass ``repro.backend``
+_RAW_GEMM_CALLS = frozenset(
+    {"dot", "vdot", "inner", "matmul", "einsum", "tensordot"}
+)
+
+#: ufuncs whose ``.at`` form scatters in place
+_SCATTER_UFUNCS = frozenset(
+    {"add", "subtract", "multiply", "divide", "maximum", "minimum"}
+)
+
+#: modules that *implement* the backend (or the substrate's own gather /
+#: scatter internals) and therefore get to call BLAS directly
+_BACKEND_IMPL_PREFIXES = ("repro.backend",)
+_BACKEND_IMPL_MODULES = frozenset({"repro.autograd.tensor"})
+
+
+@register
+class RawBlasBypassesBackend(Rule):
+    """RA901: GEMM/scatter must route through ``repro.backend.active``."""
+
+    id = "RA901"
+    name = "raw-blas-bypasses-backend"
+    severity = SEVERITY_ERROR
+    summary = ("direct np.dot/np.matmul/np.einsum/np.<ufunc>.at call "
+               "bypasses the pluggable compute backend")
+
+    def _exempt(self, ctx: ModuleContext) -> bool:
+        return (ctx.module.startswith(_BACKEND_IMPL_PREFIXES)
+                or ctx.module in _BACKEND_IMPL_MODULES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self._exempt(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] in ("np", "numpy"):
+                if parts[1] in _RAW_GEMM_CALLS:
+                    yield self.finding(
+                        ctx, node,
+                        f"'{name}' calls BLAS directly, so backend selection "
+                        f"(dtype, pooling, fusion) cannot reach it; use "
+                        f"repro.backend.active.{parts[1]} "
+                        f"(or the gemm/einsum backend ops)")
+            elif (len(parts) == 3 and parts[0] in ("np", "numpy")
+                    and parts[1] in _SCATTER_UFUNCS and parts[2] == "at"
+                    and node.args and is_buffer_access(node.args[0])):
+                # scatter into a Tensor buffer; scratch arrays are fine
+                yield self.finding(
+                    ctx, node,
+                    f"'{name}' scatters into a Tensor buffer behind the "
+                    f"backend's back; use repro.backend.active.scatter_add")

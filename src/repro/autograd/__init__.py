@@ -1,12 +1,14 @@
 """Reverse-mode autodiff substrate (replaces PyTorch in this reproduction)."""
 
-from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+from .tensor import (Tensor, concat, is_grad_enabled, no_grad, pad_rows,
+                     stack, where)
 from . import ops
 from .grad_check import check_gradients, numerical_gradient
 
 __all__ = [
     "Tensor",
     "concat",
+    "pad_rows",
     "stack",
     "where",
     "no_grad",

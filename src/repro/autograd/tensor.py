@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import sanitize as _sanitize
 
 ArrayLike = Union[float, int, list, tuple, np.ndarray, "Tensor"]
@@ -67,7 +68,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=_backend.active.compute_dtype)
 
 
 class Tensor:
@@ -76,7 +77,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a float64 numpy array.
+        Anything convertible to a numpy array in the active backend's
+        compute dtype (float64 on the paper-exact default backend,
+        float32 under ``repro.backend`` ``"fast"``).
     requires_grad:
         If True, gradients are accumulated into ``self.grad`` on backward.
     """
@@ -86,7 +89,8 @@ class Tensor:
     __array_priority__ = 100  # make numpy defer to our __radd__ etc.
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
-        self.data = np.asarray(_as_array(data), dtype=np.float64)
+        self.data = np.asarray(_as_array(data),
+                               dtype=_backend.active.compute_dtype)
         self.requires_grad = bool(requires_grad) and _grad_enabled
         self.grad: Optional[np.ndarray] = None
         # list of (parent, fn) where fn maps d(out) -> d(parent)
@@ -400,12 +404,12 @@ class Tensor:
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
             if axis is None:
-                mask = (a.data == data).astype(np.float64)
+                mask = (a.data == data).astype(a.data.dtype)
                 mask /= mask.sum()
                 return mask * g
             g_expanded = g if keepdims else np.expand_dims(g, axis)
             data_expanded = data if keepdims else np.expand_dims(data, axis)
-            mask = (a.data == data_expanded).astype(np.float64)
+            mask = (a.data == data_expanded).astype(a.data.dtype)
             mask /= mask.sum(axis=axis, keepdims=True)
             return mask * g_expanded
 
@@ -481,7 +485,9 @@ class Tensor:
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
             out = np.zeros_like(a.data)
-            np.add.at(out, indices.reshape(-1), g.reshape(-1, *a.data.shape[1:]) if indices.ndim > 1 else g)
+            _backend.active.scatter_add(
+                out, indices.reshape(-1),
+                g.reshape(-1, *a.data.shape[1:]) if indices.ndim > 1 else g)
             return out
 
         return Tensor._make(data, [(a, grad_fn)])
@@ -508,6 +514,39 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         parents.append((t, make_fn()))
         offset = hi
     return Tensor._make(data, parents)
+
+
+def pad_rows(packed: Tensor, lengths: Sequence[int],
+             n_max: Optional[int] = None) -> Tensor:
+    """Re-slice a packed ``(sum(lengths), ...)`` tensor into a
+    zero-padded ``(B, n_max, ...)`` batch.
+
+    Each packed row lands at exactly one padded slot, so the backward
+    is pure slicing — no scatter, and no gradient accumulates anywhere
+    (padded slots hold exact zeros forward and drop their gradient,
+    matching a gather of an appended zero row bit for bit).
+    """
+    lengths = [int(n) for n in lengths]
+    if sum(lengths) != packed.data.shape[0]:
+        raise ValueError(
+            f"pad_rows: lengths sum to {sum(lengths)} but packed has "
+            f"{packed.data.shape[0]} rows")
+    if n_max is None:
+        n_max = max(lengths)
+    a = packed
+    data = np.zeros((len(lengths), n_max) + a.data.shape[1:],
+                    dtype=a.data.dtype)
+    offset = 0
+    for b, n in enumerate(lengths):
+        # slice assignment copies the packed rows; no alias survives
+        data[b, :n] = a.data[offset:offset + n]  # repro: noqa[RA603]
+        offset += n
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return np.concatenate([g[b, :n] for b, n in enumerate(lengths)],
+                              axis=0)
+
+    return Tensor._make(data, [(a, grad_fn)])
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:

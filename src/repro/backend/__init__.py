@@ -1,0 +1,125 @@
+"""`repro.backend` — pluggable compute backends for the autograd core.
+
+Every hot path in the reproduction bottoms out in the hand-rolled
+:mod:`repro.autograd` engine; this package is the narrow interface that
+engine (and the models' batched kernels) compute through:
+
+* :class:`NumpyBackend` (``"default"``) — the paper-exact float64 path,
+  byte-for-byte identical to the substrate before this layer existed;
+* :class:`FastBackend` (``"fast"``) — opt-in float32 compute with a
+  size-bucketed scratch-buffer pool and fused routing / attention /
+  sampled-softmax kernels (:mod:`repro.backend.fused`).
+
+Selection::
+
+    repro.backend.set_backend("fast")        # process-wide
+    with repro.backend.use_backend("fast"):  # scoped (tests)
+        ...
+    REPRO_BACKEND=fast python -m repro run … # from the environment
+
+Select a backend *before* building models: the compute dtype is baked
+into every Tensor at construction.  The active backend is re-read on
+every Tensor creation, so scoped switches take effect immediately for
+new graphs.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Type, Union
+
+from .base import Backend, NumpyBackend
+from .fast import FastBackend, set_blas_threads
+from .pool import BufferPool
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "FastBackend",
+    "BufferPool",
+    "active_backend_name",
+    "available_backends",
+    "end_step",
+    "get_backend",
+    "set_backend",
+    "set_blas_threads",
+    "use_backend",
+]
+
+#: registry name (and aliases) -> backend class
+_BACKENDS: Dict[str, Type[Backend]] = {
+    "default": NumpyBackend,
+    "numpy": NumpyBackend,
+    "exact": NumpyBackend,
+    "fast": FastBackend,
+    "f32": FastBackend,
+}
+
+#: the live backend every Tensor creation / fused dispatch reads
+active: Backend = NumpyBackend()
+
+
+def available_backends() -> tuple:
+    """Canonical backend names (aliases excluded)."""
+    return ("default", "fast")
+
+
+def _resolve(backend: Union[str, Backend]) -> Backend:
+    if isinstance(backend, Backend):
+        return backend
+    key = str(backend).strip().lower()
+    cls = _BACKENDS.get(key)
+    if cls is None:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(set(_BACKENDS))} or a Backend instance")
+    return cls()
+
+
+def get_backend() -> Backend:
+    """The active backend instance."""
+    return active
+
+
+def active_backend_name() -> str:
+    """Registry name of the active backend (for traces and reports)."""
+    return active.name
+
+
+def set_backend(backend: Union[str, Backend]) -> Backend:
+    """Install a backend process-wide; returns the *previous* one.
+
+    Accepts a registry name (``"default"``/``"numpy"``/``"exact"``,
+    ``"fast"``/``"f32"``) or a :class:`Backend` instance (tests inject
+    instrumented subclasses this way).
+    """
+    global active
+    previous = active
+    active = _resolve(backend)
+    return previous
+
+
+@contextmanager
+def use_backend(backend: Union[str, Backend]) -> Iterator[Backend]:
+    """Scoped backend switch: ``with use_backend("fast"): ...``."""
+    previous = set_backend(backend)
+    try:
+        yield active
+    finally:
+        set_backend(previous)
+
+
+def end_step() -> None:
+    """Signal an optimizer-step boundary to the active backend.
+
+    Optimizers call this at the end of ``step()``; pooling backends
+    reclaim the step's scratch buffers here (every backward closure that
+    could reference them has already run).
+    """
+    active.end_step()
+
+
+_env = os.environ.get("REPRO_BACKEND", "").strip()
+if _env:
+    set_backend(_env)  # raises ValueError on typos: fail loud, not slow

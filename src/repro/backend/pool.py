@@ -1,0 +1,99 @@
+"""Size-bucketed scratch-buffer pool for the fast backend.
+
+The fused kernels allocate the same handful of intermediate shapes every
+micro-batch (hidden activations, attention logits, softmax scratch).
+Under CPython + numpy each ``np.empty`` round-trips the allocator and,
+for multi-megabyte buffers, the OS; the pool instead keeps freed flat
+buffers in power-of-two size buckets and hands out reshaped views.
+
+Lifecycle contract (enforced by the optimizer integration):
+
+* :meth:`acquire` lends a buffer view; the flat backing array is
+  recorded as *lent*.
+* :meth:`reclaim` — called from ``backend.end_step()`` at optimizer-step
+  boundaries — returns every lent buffer to its free bucket.  Backward
+  closures created during the step have already run by then, so no live
+  graph can observe a recycled buffer (PR 6's ``REPRO_SANITIZE=1``
+  stamps only cover ``Tensor.data`` arrays, which are never pooled).
+
+Pooled buffers are only ever *intermediates*: kernel outputs (anything
+that becomes ``Tensor.data`` or persistent user state) are always fresh
+allocations, so nothing outside a single step can alias pool memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: buffers above this element count are not pooled (handed straight to
+#: numpy): the pool targets the many small/medium per-step intermediates,
+#: not one-off giant arrays that would pin memory in a bucket forever.
+MAX_POOLED_ELEMS = 1 << 24
+
+
+def _bucket(n: int) -> int:
+    """Smallest power of two >= n (>= 1)."""
+    return 1 << max(int(n) - 1, 0).bit_length() if n > 1 else 1
+
+
+class BufferPool:
+    """Power-of-two bucketed free lists of flat numpy buffers."""
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
+        self._lent: List[Tuple[Tuple[str, int], np.ndarray]] = []
+        self.hits = 0
+        self.misses = 0
+        self.bytes_reused = 0
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Lend an uninitialised ``shape`` view backed by a pooled buffer.
+
+        The view stays valid until the next :meth:`reclaim`; callers must
+        not hold it across an optimizer-step boundary.
+        """
+        dt = np.dtype(dtype)
+        n = int(np.prod(shape)) if shape else 1
+        if n > MAX_POOLED_ELEMS:
+            self.misses += 1
+            return np.empty(shape, dtype=dt)
+        key = (dt.str, _bucket(n))
+        stack = self._free.get(key)
+        if stack:
+            flat = stack.pop()
+            self.hits += 1
+            self.bytes_reused += n * dt.itemsize
+        else:
+            flat = np.empty(key[1], dtype=dt)
+            self.misses += 1
+        self._lent.append((key, flat))
+        return flat[:n].reshape(shape)
+
+    def reclaim(self) -> int:
+        """Return every lent buffer to its bucket; returns how many."""
+        count = len(self._lent)
+        for key, flat in self._lent:
+            self._free.setdefault(key, []).append(flat)
+        self._lent.clear()
+        return count
+
+    def clear(self) -> None:
+        """Drop all pooled memory (lent and free)."""
+        self._free.clear()
+        self._lent.clear()
+
+    @property
+    def lent(self) -> int:
+        return len(self._lent)
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative pool efficiency counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_reused": self.bytes_reused,
+            "lent": len(self._lent),
+            "free_buffers": sum(len(v) for v in self._free.values()),
+        }

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Type, Union
 
 import numpy as np
 
+from .. import backend as _backend
 from .. import faults
 from ..data.schema import TemporalSplit
 from ..eval import EvalResult, average_results, evaluate_span
@@ -214,8 +215,11 @@ def run_strategy(
         ) or "run"
         obs.start_tracing(trace_dir, run_id=run_id, resume=resume)
     try:
+        obs.gauge("backend.active", 1.0,
+                  backend=_backend.active_backend_name())
         with obs.span("run", dataset=dataset_name, model=model_name,
-                      strategy=strategy.name):
+                      strategy=strategy.name,
+                      backend=_backend.active_backend_name()):
             return _run_protocol(
                 strategy, split, dataset_name, model_name, eval_spans,
                 keep_per_user, eval_targets, checkpoint_dir, resume)

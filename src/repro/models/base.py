@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import backend as _backend
 from ..autograd import Tensor, no_grad
 from ..nn import Embedding, Module, Parameter
 from ..sanitize import capture as _capture
@@ -131,7 +132,8 @@ class MSRModel(Module):
 
     def _random_interests(self, k: int) -> np.ndarray:
         """Scaled N(0, I) init (paper Algorithm 1 line 8), std 1/sqrt(d)."""
-        return self.rng.normal(0.0, 1.0 / np.sqrt(self.dim), size=(k, self.dim))
+        draw = self.rng.normal(0.0, 1.0 / np.sqrt(self.dim), size=(k, self.dim))
+        return _backend.active.asarray(draw)
 
     # SA-specific hooks (no-ops for DR models) -------------------------- #
     def _init_sa_weights(self, k: int) -> Optional[Parameter]:

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import backend as _backend
 from .base import MSRModel, UserState
 from .comirec_dr import ComiRecDR
 from .routing import squash_np
@@ -96,14 +97,15 @@ def batched_extract_dr(
     iterations = iterations or model.routing_iterations
 
     e_hat, item_mask, capsules, capsule_mask, ks = _pad_batch(model, jobs)
+    ein = _backend.active.einsum
     # (B, n, K) votes against the warm-start capsules
-    logits = np.einsum("bnd,bkd->bnk", e_hat, capsules)
+    logits = ein("bnd,bkd->bnk", e_hat, capsules)
     for step in range(iterations):
         coupling = _masked_softmax_over_items(logits, item_mask)
-        pooled = np.einsum("bnk,bnd->bkd", coupling, e_hat)
+        pooled = ein("bnk,bnd->bkd", coupling, e_hat)
         capsules = squash_np(pooled)
         if step < iterations - 1:
-            logits = logits + np.einsum("bnd,bkd->bnk", e_hat, capsules)
+            logits = logits + ein("bnd,bkd->bnk", e_hat, capsules)
 
     return [capsules[b, :k] for b, k in enumerate(ks)]
 

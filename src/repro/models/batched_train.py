@@ -36,9 +36,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, concat, stack
+from .. import backend as _backend
+from ..autograd import Tensor, concat, pad_rows, stack
 from ..autograd.ops import log_softmax, softmax, squash
 from ..contracts import shape_contract
+from ..nn import Parameter
 from ..obs import trace as obs
 from ..sanitize import capture as _capture
 from .base import MSRModel, UserState
@@ -72,24 +74,19 @@ def _padded_item_embeddings(
     """Gather all sequences in one embedding lookup, pad with zero rows.
 
     Returns the (B, n_max, d) padded embedding Tensor (exact zeros at
-    padded slots) and the (B, n_max) boolean item mask.  Padding indexes
-    a zero row appended *after* the gather, so only real item ids reach
-    the embedding table — gradients and sparse-row tracking never see
-    the padding.
+    padded slots) and the (B, n_max) boolean item mask.  Padding happens
+    *after* the gather via :func:`pad_rows` — only real item ids reach
+    the embedding table, so gradients and sparse-row tracking never see
+    the padding, and the backward is pure slicing (no scatter).
     """
     lengths = [len(s) for s in seqs]
     n_max = max(lengths)
     flat = np.concatenate([np.asarray(s, dtype=np.int64) for s in seqs])
     gathered = model.item_emb(flat)                        # (sum n_u, d)
-    with_zero = concat([gathered, Tensor(np.zeros((1, model.dim)))], axis=0)
-    positions = np.full((len(seqs), n_max), flat.shape[0], dtype=np.int64)
     mask = np.zeros((len(seqs), n_max), dtype=bool)
-    offset = 0
     for b, n in enumerate(lengths):
-        positions[b, :n] = np.arange(offset, offset + n)
         mask[b, :n] = True
-        offset += n
-    return with_zero.gather_rows(positions), mask
+    return pad_rows(gathered, lengths, n_max), mask
 
 
 def _capsule_padding(states: Sequence[UserState]) -> Tuple[np.ndarray, List[int]]:
@@ -157,13 +154,23 @@ def _extract_dr(model: MSRModel, jobs: Sequence[Job]):
             extra_logits[b, :len(seq), :ks[b]] = model._logit_rng.normal(
                 0.0, model.logit_std, size=(len(seq), ks[b]))
 
+    if _backend.active.fused:
+        from ..backend.fused import fused_dr_interests
+
+        interests = fused_dr_interests(
+            e_hat, capsules, item_mask, capsule_mask,
+            extra_logits if isinstance(model, MIND) else None,
+            model.routing_iterations)
+        return interests, capsule_mask, ks
+
+    ein = _backend.active.einsum
     e_np = e_hat.data
-    logits = np.einsum("bnd,bkd->bnk", e_np, capsules) + extra_logits
+    logits = ein("bnd,bkd->bnk", e_np, capsules) + extra_logits
     iterations = model.routing_iterations
     for _ in range(iterations - 1):
         coupling = _masked_softmax_over_items(logits, item_mask)
-        capsules = _squash_np_batch(np.einsum("bnk,bnd->bkd", coupling, e_np))
-        logits = logits + np.einsum("bnd,bkd->bnk", e_np, capsules)
+        capsules = _squash_np_batch(ein("bnk,bnd->bkd", coupling, e_np))
+        logits = logits + ein("bnd,bkd->bnk", e_np, capsules)
 
     coupling = _masked_softmax_over_items(logits, item_mask)
     coupling = coupling * capsule_mask[:, None, :]   # kill padded capsules
@@ -177,8 +184,7 @@ def _extract_sa(model: ComiRecSA, jobs: Sequence[Job]):
     capsule_mask, ks = _capsule_padding(states)
     k_max = capsule_mask.shape[1]
     embs, item_mask = _padded_item_embeddings(model, [seq for _, seq in jobs])
-    hidden = (embs @ model.w1.T).tanh()              # (B, n, d_a)
-    columns: List[Tensor] = []
+    user_ws: List[Parameter] = []
     for state, k in zip(states, ks):
         w = state.sa_weights
         if w is None:
@@ -187,6 +193,18 @@ def _extract_sa(model: ComiRecSA, jobs: Sequence[Job]):
             raise ValueError(
                 "user attention weights out of sync with interest count: "
                 f"{w.data.shape[1]} vs {k}")
+        user_ws.append(w)
+
+    if _backend.active.fused:
+        from ..backend.fused import fused_sa_interests
+
+        interests = fused_sa_interests(embs, model.w1, user_ws, item_mask,
+                                       capsule_mask)
+        return interests, capsule_mask, ks
+
+    hidden = (embs @ model.w1.T).tanh()              # (B, n, d_a)
+    columns: List[Tensor] = []
+    for w, k in zip(user_ws, ks):
         if k < k_max:
             w = concat([w, Tensor(np.zeros((model.attention_dim, k_max - k)))],
                        axis=1)
@@ -194,7 +212,7 @@ def _extract_sa(model: ComiRecSA, jobs: Sequence[Job]):
     w_pad = stack(columns, axis=0)                   # (B, d_a, K_max)
     logits = hidden @ w_pad + Tensor(np.where(item_mask, 0.0, _NEG)[:, :, None])
     attn = softmax(logits, axis=1)                   # Eq. 8, over items
-    attn = attn * Tensor(capsule_mask[:, None, :].astype(np.float64))
+    attn = attn * Tensor(capsule_mask[:, None, :].astype(embs.data.dtype))
     interests = attn.swapaxes(1, 2) @ embs           # Eq. 9 -> (B, K_max, d)
     return interests, capsule_mask, ks
 
@@ -250,28 +268,27 @@ def batched_loss_targets(
     m_max = max(counts)
     num_neg = negatives_list[0].shape[1]
 
-    # one gather for all targets, one for all negatives; padding indexes
-    # a zero row appended after the gather (exact-zero grads, no touched
-    # rows from padding)
+    # one gather for all targets, one for all negatives; padding happens
+    # after the gather via pad_rows (exact-zero forward slots, slicing
+    # backward — the embedding table never sees padded positions)
     flat_t = np.concatenate([np.asarray(t, dtype=np.int64) for t in targets_list])
     flat_n = np.concatenate([np.asarray(n, dtype=np.int64).reshape(-1)
                              for n in negatives_list])
-    t_gather = concat([model.embed_items(flat_t),
-                       Tensor(np.zeros((1, model.dim)))], axis=0)
-    n_gather = concat([model.embed_items(flat_n),
-                       Tensor(np.zeros((1, model.dim)))], axis=0)
-    t_pos = np.full((batch, m_max), flat_t.shape[0], dtype=np.int64)
-    n_pos = np.full((batch, m_max, num_neg), flat_n.shape[0], dtype=np.int64)
     weights = np.zeros((batch, m_max))
-    t_off = n_off = 0
     for b, m in enumerate(counts):
-        t_pos[b, :m] = np.arange(t_off, t_off + m)
-        n_pos[b, :m] = np.arange(n_off, n_off + m * num_neg).reshape(m, num_neg)
         weights[b, :m] = 1.0 / m
-        t_off += m
-        n_off += m * num_neg
-    target_embs = t_gather.gather_rows(t_pos)        # (B, M, d)
-    neg_embs = n_gather.gather_rows(n_pos)           # (B, M, J, d)
+    target_embs = pad_rows(model.embed_items(flat_t),
+                           counts, m_max)            # (B, M, d)
+    neg_embs = pad_rows(model.embed_items(flat_n),
+                        [m * num_neg for m in counts],
+                        m_max * num_neg)             # (B, M·J, d)
+    neg_embs = neg_embs.reshape(batch, m_max, num_neg, model.dim)
+
+    if _backend.active.fused:
+        from ..backend.fused import fused_sampled_softmax
+
+        return fused_sampled_softmax(interests, target_embs, neg_embs,
+                                     capsule_mask, weights)
 
     # target-attentive aggregation (Eq. 5) with padded capsules masked out
     att = target_embs @ interests.swapaxes(1, 2)     # (B, M, K)

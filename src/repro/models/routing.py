@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from ..autograd import Tensor
 from ..autograd.ops import squash
 from ..contracts import shape_contract
@@ -98,6 +99,14 @@ def b2i_routing(
         softmax_fn = _softmax_over_capsules
     else:
         raise ValueError(f"normalize must be 'items' or 'capsules', got {normalize!r}")
+
+    if _backend.active.fused and normalize == "items":
+        # the fused kernel implements the paper-text normalization only;
+        # the "capsules" ablation stays on the op-by-op graph
+        from ..backend.fused import fused_dr_interests_single
+
+        return fused_dr_interests_single(e_hat, init_interests, iterations,
+                                         init_logits)
 
     e_np = e_hat.data
     logits = e_np @ init_interests.T  # (n, K): votes against initial capsules

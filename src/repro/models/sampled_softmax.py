@@ -8,6 +8,7 @@ negative log-likelihood.
 
 from __future__ import annotations
 
+from .. import backend as _backend
 from ..autograd import Tensor, concat
 from ..autograd.ops import log_softmax
 from ..contracts import shape_contract
@@ -53,6 +54,11 @@ def batch_sampled_softmax_loss(
     share the same interest matrix.  ``target_embs`` is (m, d) and
     ``negative_embs`` is (m, num_neg, d).
     """
+    if _backend.active.fused:
+        from ..backend.fused import fused_sampled_softmax_single
+
+        return fused_sampled_softmax_single(interests, target_embs,
+                                            negative_embs)
     m = target_embs.shape[0]
     att = target_embs @ interests.T  # (m, K)
     beta = _softmax_rows(att)

@@ -87,5 +87,6 @@ class Embedding(Module):
             new_rows = init.normal((num_new, self.dim), rng, std=self.std)
         else:
             new_rows = init.zeros((num_new, self.dim))
+        new_rows = new_rows.astype(self.weight.data.dtype, copy=False)
         self.weight.data = np.concatenate([self.weight.data, new_rows], axis=0)
         self.num_embeddings += num_new

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from .. import backend as _backend
 from ..obs import trace as obs
 from .module import Parameter
 
@@ -80,6 +81,7 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data -= self.lr * grad
+        _backend.end_step()
 
 
 class Adam(Optimizer):
@@ -109,6 +111,7 @@ class Adam(Optimizer):
                 continue
             self._sync_grown_rows(i, p)
             self._dense_update(i, p)
+        _backend.end_step()
 
     def _sync_grown_rows(self, i: int, p: Parameter) -> None:
         """Zero-pad moment state when a row-sparse parameter gained rows.
@@ -130,7 +133,8 @@ class Adam(Optimizer):
                 f"optimizer state shape {m.shape} does not match parameter "
                 f"shape {p.data.shape} and the parameter is not a row-grown "
                 f"embedding table")
-        pad = np.zeros((p.data.shape[0] - m.shape[0],) + m.shape[1:])
+        pad = np.zeros((p.data.shape[0] - m.shape[0],) + m.shape[1:],
+                       dtype=m.dtype)
         self._m[i] = np.concatenate([m, pad], axis=0)
         self._v[i] = np.concatenate([self._v[i], np.zeros_like(pad)], axis=0)
 
@@ -198,6 +202,7 @@ class SparseAdam(Adam):
                 continue
             self._sparse_update(i, p, rows)
             p._touched_rows = []  # consumed: next step starts a fresh recording
+        _backend.end_step()
 
     def _sync_grown_rows(self, i: int, p: Parameter) -> None:
         super()._sync_grown_rows(i, p)

@@ -31,6 +31,7 @@ __all__ = [
     "decision_events",
     "span_rollup",
     "stream_rollup",
+    "backend_rollup",
     "summarize_trace",
     "render_summary",
     "render_stream_summary",
@@ -161,6 +162,50 @@ def stream_rollup(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
     }
 
 
+def backend_rollup(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Compute-backend telemetry from the final metrics snapshot.
+
+    Collects the ``backend.active`` gauge and the buffer-pool counters
+    (``backend.pool_hits`` / ``backend.pool_misses`` /
+    ``backend.bytes_reused``) the fast backend flushes at optimizer-step
+    boundaries, grouped by their ``backend=`` label.  Returns None when
+    the trace carries no backend metrics (e.g. a default-backend run
+    without the runner's gauge).
+    """
+    pools: Dict[str, Dict[str, float]] = {}
+    active: Optional[str] = None
+    for key, state in metrics.items():
+        name, _, label_part = key.partition("{")
+        if not name.startswith("backend."):
+            continue
+        labels: Dict[str, str] = {}
+        for item in label_part.rstrip("}").split(","):
+            k, sep, v = item.partition("=")
+            if sep:
+                labels[k] = v
+        which = labels.get("backend", "?")
+        if name == "backend.active":
+            active = which
+        elif name in ("backend.pool_hits", "backend.pool_misses",
+                      "backend.bytes_reused"):
+            field = name.split(".", 1)[1]
+            pools.setdefault(which, {})[field] = float(state.get("value", 0.0))
+    if active is None and not pools:
+        return None
+    rollup: Dict[str, Any] = {"active": active, "pools": {}}
+    for which, counts in sorted(pools.items()):
+        hits = counts.get("pool_hits", 0.0)
+        misses = counts.get("pool_misses", 0.0)
+        total = hits + misses
+        rollup["pools"][which] = {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": (hits / total) if total else None,
+            "bytes_reused": int(counts.get("bytes_reused", 0.0)),
+        }
+    return rollup
+
+
 def summarize_trace(target: PathLike) -> Dict[str, Any]:
     """Aggregate a trace into the structure the CLI renders.
 
@@ -224,6 +269,7 @@ def summarize_trace(target: PathLike) -> Dict[str, Any]:
         "spans_committed": sorted(
             _field(e, "span_id") for e in committed),
         "stream": stream_rollup(events),
+        "backend": backend_rollup(metrics),
         "log_lines": len(logs),
         "metrics": metrics,
     }
@@ -292,6 +338,19 @@ def render_summary(summary: Dict[str, Any]) -> str:
         lines.append(f"  journal        spans committed: {committed}")
     if summary.get("log_lines"):
         lines.append(f"  log            {summary['log_lines']} line(s)")
+
+    backend = summary.get("backend")
+    if backend:
+        lines.append("backend:")
+        if backend.get("active"):
+            lines.append(f"  active         {backend['active']}")
+        for which, pool in backend.get("pools", {}).items():
+            rate = ("n/a" if pool["hit_rate"] is None
+                    else f"{pool['hit_rate'] * 100:.1f}%")
+            lines.append(
+                f"  pool[{which}]     hits={pool['hits']} "
+                f"misses={pool['misses']} hit_rate={rate} "
+                f"bytes_reused={pool['bytes_reused']}")
 
     metrics = summary.get("metrics", {})
     if metrics:

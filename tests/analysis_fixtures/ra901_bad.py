@@ -1,0 +1,14 @@
+"""RA901 firing: raw BLAS / scatter calls that bypass the backend."""
+
+import numpy as np
+
+
+def extract(e_hat, capsules, coupling):
+    logits = np.einsum("nd,kd->nk", e_hat, capsules)   # raw einsum
+    pooled = np.matmul(coupling.T, e_hat)              # raw GEMM
+    score = np.dot(pooled[0], capsules[0])             # raw dot
+    return logits, pooled, score
+
+
+def accumulate(table, idx, rows):
+    np.add.at(table.grad, idx, rows)                   # raw buffer scatter

@@ -267,11 +267,32 @@ PERF = """\
 """
 
 
+PERF_WITH_BACKEND = PERF.replace(
+    '"hr": 0.4, "ndcg": 0.2}', '"hr": 0.4, "ndcg": 0.2},\n'
+    '             "backend": {"name": "fast", "train_s": 0.006,\n'
+    '                         "train_speedup": 1.7, "extract_s": 0.0005,\n'
+    '                         "extract_speedup": 2.0, "eval_s": 0.0003,\n'
+    '                         "eval_speedup": 1.3, "hr": 0.41, "ndcg": 0.21,\n'
+    '                         "hr_drift": 0.01, "ndcg_drift": 0.01}')
+
+
 class TestPerfIngestion:
     def test_parse_report_rows(self):
         rows = dict(summarize.parse_perf(PERF))
         assert rows["small (32u/200i, B=8)"] == (
             "train x3.0  extract x4.0  eval x5.0")
+
+    def test_reports_without_backend_section_have_no_backend_row(self):
+        assert not [label for label, _ in summarize.parse_perf(PERF)
+                    if "backend" in label]
+
+    def test_parse_backend_rows(self):
+        rows = dict(summarize.parse_perf(PERF_WITH_BACKEND))
+        # the plain batched row is unchanged by the backend section
+        assert rows["small (32u/200i, B=8)"] == (
+            "train x3.0  extract x4.0  eval x5.0")
+        assert rows["small [fast backend]"] == (
+            "train x1.7  extract x2.0  eval x1.3  hr_drift 0.01")
 
     def test_parse_rejects_foreign_json(self):
         with pytest.raises(ValueError, match="not a perf report"):

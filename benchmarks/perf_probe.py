@@ -28,6 +28,11 @@ Emits a JSON report (``BENCH_perf.json`` in CI) that
 ``benchmarks/summarize.py --perf`` folds into the markdown summary, so
 speedups are tracked next to the reproduction metrics and CI can assert
 they do not regress.
+
+``--history FILE`` additionally appends this run's flattened metrics as
+one JSONL line to the tracked perf-trajectory history, which
+``summarize.py --regress`` gates new reports against (noise-aware
+thresholds from the history's own spread).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -255,6 +261,10 @@ def main(argv: List[str]) -> int:
                              f"(default all: {','.join(SCALES)})")
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="write the JSON report here (default stdout)")
+    parser.add_argument("--history", default=None, metavar="FILE",
+                        help="append this run's flattened metrics to the "
+                             "perf-trajectory history (JSONL; gated by "
+                             "summarize.py --regress)")
     args = parser.parse_args(argv)
     scales = None
     if args.scales is not None:
@@ -283,6 +293,17 @@ def main(argv: List[str]) -> int:
                       f"hr_drift {backend['hr_drift']}")
     else:
         print(payload)
+    if args.history:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from summarize import flatten_perf_metrics
+
+        line = json.dumps({"probe": "repro.perf",
+                           "metrics": flatten_perf_metrics(report)},
+                          sort_keys=True)
+        with open(args.history, "a") as fh:
+            fh.write(line + "\n")
+        print(f"history: appended {len(flatten_perf_metrics(report))} "
+              f"metric(s) to {args.history}")
     return 0
 
 

@@ -19,12 +19,15 @@ Example
 
 from __future__ import annotations
 
+import sys
+import time
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .. import backend as _backend
 from .. import sanitize as _sanitize
+from ..obs import prof as _prof
 
 ArrayLike = Union[float, int, list, tuple, np.ndarray, "Tensor"]
 
@@ -85,7 +88,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward_fns", "_parents",
-                 "_stamp")
+                 "_stamp", "__weakref__")
     __array_priority__ = 100  # make numpy defer to our __radd__ etc.
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
@@ -99,6 +102,9 @@ class Tensor:
         # sanitizer version stamp of self.data, taken when this tensor
         # first feeds a tracked op; verified and cleared by backward()
         self._stamp = None
+        mem = _prof._MEM
+        if mem is not None:
+            mem.track(self)
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -153,6 +159,11 @@ class Tensor:
         parents: Sequence[Tuple["Tensor", Callable[[np.ndarray], np.ndarray]]],
     ) -> "Tensor":
         """Create a graph node from op output + per-parent backward fns."""
+        hooks = _prof._AUTOGRAD
+        if hooks is not None:
+            # sandwich timing: charge the wall time since the previous
+            # attribution point to the op (caller) that built this node
+            hooks.on_node(sys._getframe(1).f_code)
         track = _grad_enabled and any(p.requires_grad for p, _ in parents)
         out = Tensor(data, requires_grad=track)
         if track:
@@ -213,6 +224,11 @@ class Tensor:
         for node in topo:
             node._stamp = None
 
+        hooks = _prof._AUTOGRAD
+        if hooks is not None:
+            bwd_start = time.perf_counter()
+            hooks.acc = 0.0
+
         grads = {id(self): grad}
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
@@ -226,7 +242,12 @@ class Tensor:
                     node.grad = node.grad + node_grad
                 continue
             for parent, fn in node._backward_fns:
-                contrib = fn(node_grad)
+                if hooks is not None:
+                    t0 = time.perf_counter()
+                    contrib = fn(node_grad)
+                    hooks.on_backward(fn, time.perf_counter() - t0)
+                else:
+                    contrib = fn(node_grad)
                 key = id(parent)
                 if key in grads:
                     grads[key] = grads[key] + contrib
@@ -237,6 +258,14 @@ class Tensor:
             g = grads.get(id(node))
             if g is not None and not node._backward_fns:
                 node.grad = g if node.grad is None else node.grad + g
+
+        if hooks is not None:
+            # topo sort + gradient accumulation: everything in this
+            # backward() that the per-fn timings above did not cover
+            hooks.prof._record_kernel(
+                "bwd.graph_overhead",
+                (time.perf_counter() - bwd_start) - hooks.acc)
+            hooks.mark = time.perf_counter()
 
     # ------------------------------------------------------------------ #
     # arithmetic

@@ -38,6 +38,7 @@ __all__ = [
     "NumpyBackend",
     "FastBackend",
     "BufferPool",
+    "InstrumentedBackend",
     "active_backend_name",
     "available_backends",
     "end_step",
@@ -119,6 +120,10 @@ def end_step() -> None:
     """
     active.end_step()
 
+
+# imported last: instrument.py needs repro.obs, which fast.py (above)
+# has already finished initialising by this point
+from .instrument import InstrumentedBackend  # noqa: E402
 
 _env = os.environ.get("REPRO_BACKEND", "").strip()
 if _env:

@@ -24,7 +24,13 @@ Commands
     Render the spans, decision events, and metrics of a trace written
     with ``run --trace-dir`` (:mod:`repro.obs`); ``--json`` emits the
     raw summary structure instead; ``--stream`` prints only the
-    streaming-pipeline rollup (quarantine/backoff/degradation counts).
+    streaming-pipeline rollup (quarantine/backoff/degradation counts);
+    ``--diff A B`` compares two traces instead (fingerprint-aware
+    span-duration and counter deltas).
+``trace flame DIR``
+    Export a profiled trace as a flamegraph: collapsed stacks
+    (``--out``), speedscope JSON (``--speedscope``), and the critical
+    path through the span tree (``--critical-path``).
 ``stream run DATASET MODEL STRATEGY``
     Prequential (test-then-learn) streaming run over the dataset's
     event stream with the full robustness envelope — validation gate +
@@ -96,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace-dir", default=None, metavar="DIR",
                        help="record spans, decision events, and metrics "
                             "to DIR/trace.jsonl (repro.obs)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="op-level profiling: kernel/backend-op "
+                            "timings, FLOPs, memory (repro.obs.prof); "
+                            "prints the attribution table and, with "
+                            "--trace-dir, folds op stats into the trace")
 
     p_exp = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
@@ -137,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
     p_summarize = trace_sub.add_parser(
         "summarize", help="render a trace directory's spans/events/metrics")
-    p_summarize.add_argument("directory",
+    p_summarize.add_argument("directory", nargs="?", default=None,
                              help="directory holding trace.jsonl (or the "
                                   "file itself)")
     p_summarize.add_argument("--json", action="store_true",
@@ -146,6 +157,26 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print only the streaming-pipeline "
                                   "rollup (quarantine/backoff/degradation "
                                   "counts per run)")
+    p_summarize.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                             default=None,
+                             help="compare two traces instead of "
+                                  "summarizing one: fingerprint match, "
+                                  "per-span duration deltas, changed "
+                                  "counters")
+    p_flame = trace_sub.add_parser(
+        "flame", help="flamegraph export for a profiled trace")
+    p_flame.add_argument("directory",
+                         help="directory holding trace.jsonl (or the "
+                              "file itself)")
+    p_flame.add_argument("--out", default=None, metavar="FILE",
+                         help="write collapsed stacks (one 'a;b;c µs' "
+                              "line per stack) to FILE instead of stdout")
+    p_flame.add_argument("--speedscope", default=None, metavar="FILE",
+                         help="also write a speedscope-format JSON "
+                              "profile to FILE")
+    p_flame.add_argument("--critical-path", action="store_true",
+                         help="print the heaviest root-to-leaf span "
+                              "chain instead of collapsed stacks")
 
     p_stream = sub.add_parser(
         "stream", help="resilient prequential streaming (repro.stream)")
@@ -227,7 +258,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_strategy(strategy, split, args.dataset, args.model,
                           checkpoint_dir=args.checkpoint_dir,
                           resume=args.resume,
-                          trace_dir=args.trace_dir)
+                          trace_dir=args.trace_dir,
+                          profile=args.profile)
     rows = [
         {"span": t + 1, "HR@20": r.hr, "NDCG@20": r.ndcg,
          "cases": r.num_cases, "mean K": result.interest_counts[t]}
@@ -244,6 +276,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     for incident in result.incidents:
         logger.warning("incident: span %s %s -> %s", incident["span"],
                        incident["kind"], incident["action"])
+    if args.profile and result.profile is not None:
+        from .obs import render_prof_summary
+
+        print(render_prof_summary(result.profile))
     if args.trace_dir is not None:
         print(f"trace: {args.trace_dir}/trace.jsonl "
               f"(inspect with `repro trace summarize {args.trace_dir}`)")
@@ -349,12 +385,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     from .obs import (
         TraceError,
+        collapsed_stacks,
+        critical_path,
+        diff_traces,
+        read_trace,
+        render_critical_path,
+        render_diff,
         render_stream_summary,
         render_summary,
+        speedscope_profile,
         summarize_trace,
     )
 
     if args.trace_command == "summarize":
+        if args.diff is not None:
+            try:
+                diff = diff_traces(args.diff[0], args.diff[1])
+            except TraceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(diff, indent=2, sort_keys=True))
+            else:
+                print(render_diff(diff))
+            return 0
+        if args.directory is None:
+            print("error: a trace directory (or --diff A B) is required",
+                  file=sys.stderr)
+            return 2
         try:
             summary = summarize_trace(args.directory)
         except TraceError as exc:
@@ -370,6 +428,30 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(json.dumps(summary, indent=2, sort_keys=True))
         else:
             print(render_summary(summary))
+        return 0
+    if args.trace_command == "flame":
+        try:
+            events, _ = read_trace(args.directory)
+        except TraceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.speedscope is not None:
+            profile = speedscope_profile(events, name=args.directory)
+            with open(args.speedscope, "w", encoding="utf-8") as fh:
+                json.dump(profile, fh)
+            print(f"speedscope profile: {args.speedscope}", file=sys.stderr)
+        if args.critical_path:
+            print(render_critical_path(critical_path(events)))
+            return 0
+        stacks = collapsed_stacks(events)
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(stacks) + ("\n" if stacks else ""))
+            print(f"collapsed stacks: {args.out} ({len(stacks)} line(s))",
+                  file=sys.stderr)
+        else:
+            for line in stacks:
+                print(line)
         return 0
     raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 

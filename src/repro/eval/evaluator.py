@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.schema import SpanDataset
+from ..obs import prof as _prof
 from ..obs import trace as obs
 from .metrics import metrics_from_ranks, ranks_of_user_targets
 
@@ -93,19 +94,21 @@ def evaluate_span(
     per_user: Dict[int, tuple] = {}
     if not cases:
         return EvalResult(hr=0.0, ndcg=0.0, num_cases=0, per_user=per_user)
-    if batch_score_fn is not None:
-        score_matrix = np.asarray(batch_score_fn([u for u, _ in cases]))
-    else:
-        score_matrix = np.stack([score_fn(user) for user, _ in cases])
-    counts = [len(items) for _, items in cases]
-    case_rows = np.repeat(np.arange(len(cases)), counts)
-    case_items = np.concatenate(
-        [np.asarray(items, dtype=np.int64) for _, items in cases])
-    rank_start = time.perf_counter()
-    ranks = ranks_of_user_targets(score_matrix, case_rows, case_items)
-    all_hits, all_ndcgs = metrics_from_ranks(ranks, k=k)
-    obs.observe("eval.rank_compute_seconds",
-                time.perf_counter() - rank_start)
+    with _prof.op("eval.score"):
+        if batch_score_fn is not None:
+            score_matrix = np.asarray(batch_score_fn([u for u, _ in cases]))
+        else:
+            score_matrix = np.stack([score_fn(user) for user, _ in cases])
+    with _prof.op("eval.rank"):
+        counts = [len(items) for _, items in cases]
+        case_rows = np.repeat(np.arange(len(cases)), counts)
+        case_items = np.concatenate(
+            [np.asarray(items, dtype=np.int64) for _, items in cases])
+        rank_start = time.perf_counter()
+        ranks = ranks_of_user_targets(score_matrix, case_rows, case_items)
+        all_hits, all_ndcgs = metrics_from_ranks(ranks, k=k)
+        obs.observe("eval.rank_compute_seconds",
+                    time.perf_counter() - rank_start)
     obs.counter("eval.cases", len(case_items))
     if keep_per_user:
         offset = 0

@@ -32,6 +32,7 @@ from ..data.schema import TemporalSplit
 from ..eval import EvalResult, average_results, evaluate_span
 from ..incremental import STRATEGY_REGISTRY, IncrementalStrategy, TrainConfig
 from ..models import make_model
+from ..obs import prof as _prof
 from ..obs import trace as obs
 from ..obs.log import get_logger
 from ..persistence import load_checkpoint, run_fingerprint, save_checkpoint
@@ -73,6 +74,8 @@ class RunResult:
     #: phase ``train_times`` never covered — together the three dicts
     #: give honest cumulative timings, resumed spans included
     extract_times: Dict[int, float] = field(default_factory=dict)
+    #: op-level profiler report (``run_strategy(..., profile=True)``)
+    profile: Optional[dict] = None
 
     @property
     def hr(self) -> float:
@@ -187,6 +190,7 @@ def run_strategy(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     trace_dir: Optional[Union[str, Path]] = None,
+    profile: bool = False,
 ) -> RunResult:
     """Execute the full incremental protocol for a prepared strategy.
 
@@ -207,6 +211,12 @@ def run_strategy(
     joins it instead of opening a second sink; with ``resume=True`` the
     trace file is appended to (after torn-tail recovery), so one trace
     covers the interrupted run and its resumption.
+
+    ``profile=True`` activates the op-level profiler
+    (:mod:`repro.obs.prof`) for the run: kernel/backend-op timing and
+    memory accounting land in the trace (when one is active) and in
+    ``RunResult.profile``.  Profiling only reads clocks — the run stays
+    bit-identical to an unprofiled one.
     """
     owns_trace = trace_dir is not None and not obs.enabled()
     if owns_trace:
@@ -214,18 +224,25 @@ def run_strategy(
             p for p in (dataset_name, model_name, strategy.name) if p
         ) or "run"
         obs.start_tracing(trace_dir, run_id=run_id, resume=resume)
+    owns_prof = profile and not _prof.enabled()
+    if owns_prof:
+        _prof.start_profiling()
     try:
         obs.gauge("backend.active", 1.0,
                   backend=_backend.active_backend_name())
         with obs.span("run", dataset=dataset_name, model=model_name,
                       strategy=strategy.name,
                       backend=_backend.active_backend_name()):
-            return _run_protocol(
+            result = _run_protocol(
                 strategy, split, dataset_name, model_name, eval_spans,
                 keep_per_user, eval_targets, checkpoint_dir, resume)
     finally:
+        profiler = _prof.stop_profiling() if owns_prof else None
         if owns_trace:
             obs.stop_tracing()
+    if profiler is not None:
+        result.profile = profiler.report()
+    return result
 
 
 def _run_protocol(
@@ -255,7 +272,7 @@ def _run_protocol(
     eval_times: Dict[int, float] = {}
 
     if restored_span is None:
-        with obs.span("pretrain"):
+        with obs.span("pretrain"), _prof.phase("pretrain"):
             strategy.pretrain()
         if journal is not None:
             save_checkpoint(strategy, journal.checkpoint_path(0), span=0)
@@ -293,7 +310,7 @@ def _run_protocol(
 
         faults.fire("span-start", span=t)
         strategy.set_current_span(t)
-        with obs.span("train_span", span_id=t):
+        with obs.span("train_span", span_id=t), _prof.phase("train"):
             strategy.train_span(t)
         faults.fire("span-trained", span=t, strategy=strategy)
 
@@ -305,7 +322,7 @@ def _run_protocol(
                 rolled_back = True
 
         eval_start = time.perf_counter()
-        with obs.span("evaluate", span_id=t):
+        with obs.span("evaluate", span_id=t), _prof.phase("eval"):
             result = evaluate_span(
                 strategy.score_user, split.spans[t],
                 keep_per_user=keep_per_user, targets=eval_targets,
@@ -316,7 +333,8 @@ def _run_protocol(
             _rollback(strategy, journal, t, "non-finite-metrics",
                       {"hr": repr(result.hr), "ndcg": repr(result.ndcg)})
             rolled_back = True
-            with obs.span("evaluate", span_id=t, after_rollback=True):
+            with obs.span("evaluate", span_id=t, after_rollback=True), \
+                    _prof.phase("eval"):
                 result = evaluate_span(
                     strategy.score_user, split.spans[t],
                     keep_per_user=keep_per_user, targets=eval_targets,

@@ -31,6 +31,7 @@ from ..data.schema import SpanDataset, TemporalSplit
 from ..faults import fire as _fault_probe
 from ..models.base import MSRModel, UserState
 from ..nn import Adam, clip_grad_norm
+from ..obs import prof as _prof
 from ..obs import trace as obs
 from ..sanitize import capture as _capture
 
@@ -474,7 +475,7 @@ class IncrementalStrategy:
         "extract" phase of a span that ``train_times`` never covered."""
         start = time.perf_counter()
         with obs.span("snapshot_refresh", span_id=self._current_span,
-                      users=len(span.user_ids())):
+                      users=len(span.user_ids())), _prof.phase("extract"):
             self._refresh_snapshots_impl(span, interests_hook)
         self.extract_times[self._current_span] = (
             self.extract_times.get(self._current_span, 0.0)

@@ -41,6 +41,7 @@ from ..autograd import Tensor, concat, pad_rows, stack
 from ..autograd.ops import log_softmax, softmax, squash
 from ..contracts import shape_contract
 from ..nn import Parameter
+from ..obs import prof as _prof
 from ..obs import trace as obs
 from ..sanitize import capture as _capture
 from .base import MSRModel, UserState
@@ -165,15 +166,16 @@ def _extract_dr(model: MSRModel, jobs: Sequence[Job]):
 
     ein = _backend.active.einsum
     e_np = e_hat.data
-    logits = ein("bnd,bkd->bnk", e_np, capsules) + extra_logits
-    iterations = model.routing_iterations
-    for _ in range(iterations - 1):
-        coupling = _masked_softmax_over_items(logits, item_mask)
-        capsules = _squash_np_batch(ein("bnk,bnd->bkd", coupling, e_np))
-        logits = logits + ein("bnd,bkd->bnk", e_np, capsules)
+    with _prof.op("extract.b2i_routing"):
+        logits = ein("bnd,bkd->bnk", e_np, capsules) + extra_logits
+        iterations = model.routing_iterations
+        for _ in range(iterations - 1):
+            coupling = _masked_softmax_over_items(logits, item_mask)
+            capsules = _squash_np_batch(ein("bnk,bnd->bkd", coupling, e_np))
+            logits = logits + ein("bnd,bkd->bnk", e_np, capsules)
 
-    coupling = _masked_softmax_over_items(logits, item_mask)
-    coupling = coupling * capsule_mask[:, None, :]   # kill padded capsules
+        coupling = _masked_softmax_over_items(logits, item_mask)
+        coupling = coupling * capsule_mask[:, None, :]  # kill padded capsules
     interests = squash(Tensor(coupling).swapaxes(1, 2) @ e_hat)
     return interests, capsule_mask, ks
 

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from .. import backend as _backend
+from ..obs import prof as _prof
 from ..obs import trace as obs
 from .module import Parameter
 
@@ -70,17 +71,18 @@ class SGD(Optimizer):
         self._velocity.append(np.zeros_like(param.data))
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
-            if p.grad is None:
-                continue
-            grad = p.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
-            if self.momentum:
-                v *= self.momentum
-                v += grad
-                grad = v
-            p.data -= self.lr * grad
+        with _prof.op("optim.step"):
+            for p, v in zip(self.params, self._velocity):
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * p.data
+                if self.momentum:
+                    v *= self.momentum
+                    v += grad
+                    grad = v
+                p.data -= self.lr * grad
         _backend.end_step()
 
 
@@ -106,11 +108,12 @@ class Adam(Optimizer):
         self._steps.append(0)
 
     def step(self) -> None:
-        for i, p in enumerate(self.params):
-            if p.grad is None:
-                continue
-            self._sync_grown_rows(i, p)
-            self._dense_update(i, p)
+        with _prof.op("optim.step"):
+            for i, p in enumerate(self.params):
+                if p.grad is None:
+                    continue
+                self._sync_grown_rows(i, p)
+                self._dense_update(i, p)
         _backend.end_step()
 
     def _sync_grown_rows(self, i: int, p: Parameter) -> None:
@@ -192,16 +195,17 @@ class SparseAdam(Adam):
         enable_row_tracking(param)
 
     def step(self) -> None:
-        for i, p in enumerate(self.params):
-            if p.grad is None:
-                continue
-            self._sync_grown_rows(i, p)
-            rows = touched_rows(p)
-            if rows is None or p.data.ndim < 1:
-                self._dense_update(i, p)
-                continue
-            self._sparse_update(i, p, rows)
-            p._touched_rows = []  # consumed: next step starts a fresh recording
+        with _prof.op("optim.step"):
+            for i, p in enumerate(self.params):
+                if p.grad is None:
+                    continue
+                self._sync_grown_rows(i, p)
+                rows = touched_rows(p)
+                if rows is None or p.data.ndim < 1:
+                    self._dense_update(i, p)
+                    continue
+                self._sparse_update(i, p, rows)
+                p._touched_rows = []  # consumed: next step starts fresh
         _backend.end_step()
 
     def _sync_grown_rows(self, i: int, p: Parameter) -> None:

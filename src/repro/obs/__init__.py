@@ -13,6 +13,11 @@ Three pillars, all zero-dependency and off by default:
 :mod:`repro.obs.summary` reads traces back: tolerant parsing,
 deterministic fingerprinting, and the aggregation behind
 ``repro trace summarize``.
+
+:mod:`repro.obs.prof` adds the op-level layer: kernel/backend-op timing,
+FLOP and byte estimates, and memory accounting, folded into the trace;
+:mod:`repro.obs.flame` turns the span tree plus op samples into
+critical paths and flamegraphs (``repro trace flame``).
 """
 
 from .log import ROOT_LOGGER, TraceLogHandler, configure_logging, get_logger
@@ -26,12 +31,35 @@ from .metrics import (
     is_timing_metric,
 )
 from .summary import (
+    diff_traces,
+    prof_rollup,
     read_trace,
+    render_diff,
+    render_prof_summary,
     render_stream_summary,
     render_summary,
     stream_rollup,
     summarize_trace,
     trace_fingerprint,
+)
+from .flame import (
+    build_span_tree,
+    collapsed_stacks,
+    critical_path,
+    render_critical_path,
+    speedscope_profile,
+)
+from .prof import (
+    MemTracker,
+    OpProfiler,
+    current_profiler,
+    op,
+    phase,
+    profiling,
+    read_rss_kb,
+    shape_bucket,
+    start_profiling,
+    stop_profiling,
 )
 from .trace import (
     META_NAME,
@@ -92,6 +120,27 @@ __all__ = [
     "trace_fingerprint",
     "summarize_trace",
     "render_summary",
+    "render_prof_summary",
     "render_stream_summary",
     "stream_rollup",
+    "prof_rollup",
+    "diff_traces",
+    "render_diff",
+    # op-level profiling
+    "MemTracker",
+    "OpProfiler",
+    "current_profiler",
+    "op",
+    "phase",
+    "profiling",
+    "read_rss_kb",
+    "shape_bucket",
+    "start_profiling",
+    "stop_profiling",
+    # flamegraphs / critical path
+    "build_span_tree",
+    "collapsed_stacks",
+    "critical_path",
+    "render_critical_path",
+    "speedscope_profile",
 ]

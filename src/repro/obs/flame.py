@@ -1,0 +1,238 @@
+"""Critical-path analysis and flamegraph export from trace records.
+
+Consumes the records :func:`repro.obs.summary.read_trace` returns —
+``span_start`` / ``span_end`` pairs plus the profiler's ``op_span``
+samples — and produces:
+
+* :func:`build_span_tree` — the forest of spans with durations;
+* :func:`critical_path` — the heaviest root-to-leaf chain with
+  inclusive/self times per segment;
+* :func:`collapsed_stacks` — Brendan-Gregg collapsed-stack lines
+  (``run;train_span;epoch;fwd.matmul 1234`` in integer microseconds),
+  directly consumable by ``flamegraph.pl`` or speedscope;
+* :func:`speedscope_profile` — an ``evented`` speedscope JSON document.
+
+Span *self* time is duration minus child spans minus the op samples
+recorded at that exact span path, so kernel-level frames subtract
+cleanly instead of double counting.  Op samples are aggregated per span
+path in the trace; speedscope (which needs concrete intervals) packs
+them at the start of the first span with that path — an attribution-
+preserving approximation, not a timeline reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "build_span_tree",
+    "collapsed_stacks",
+    "critical_path",
+    "op_totals",
+    "render_critical_path",
+    "speedscope_profile",
+]
+
+Record = Dict[str, Any]
+Path = Tuple[str, ...]
+
+
+def build_span_tree(events: Sequence[Record]) -> List[Dict[str, Any]]:
+    """Reassemble the span forest from start/end records.
+
+    Tolerates crashes (unclosed spans get the sum of their children's
+    durations) and resumed traces (span ids restart per segment; the
+    latest id wins for end-matching while earlier spans stay in place).
+    """
+    nodes: Dict[Any, Dict[str, Any]] = {}
+    roots: List[Dict[str, Any]] = []
+    for record in events:
+        kind = record.get("kind")
+        if kind == "span_start":
+            node = {
+                "id": record.get("id"),
+                "name": str(record.get("name", "?")),
+                "wall": float(record.get("wall", 0.0) or 0.0),
+                "dur_s": None,
+                "mem": None,
+                "children": [],
+            }
+            parent = nodes.get(record.get("parent"))
+            if parent is not None and parent["dur_s"] is None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+            nodes[node["id"]] = node
+        elif kind == "span_end":
+            node = nodes.get(record.get("id"))
+            if node is not None and node["dur_s"] is None:
+                node["dur_s"] = float(record.get("dur_s", 0.0) or 0.0)
+                if "mem" in record:
+                    node["mem"] = record["mem"]
+
+    def close(node: Dict[str, Any]) -> None:
+        for child in node["children"]:
+            close(child)
+        if node["dur_s"] is None:
+            node["dur_s"] = sum(c["dur_s"] for c in node["children"])
+
+    for root in roots:
+        close(root)
+    return roots
+
+
+def op_totals(events: Sequence[Record]) -> Dict[Path, Dict[str, List[float]]]:
+    """``op_span`` samples keyed by span path: ``{path: {op: [n, s]}}``."""
+    out: Dict[Path, Dict[str, List[float]]] = {}
+    for record in events:
+        if record.get("kind") != "op_span":
+            continue
+        path = tuple(str(p) for p in record.get("path", ()))
+        per_op = out.setdefault(path, {})
+        entry = per_op.setdefault(str(record.get("op", "?")), [0, 0.0])
+        entry[0] += int(record.get("count", 0))
+        entry[1] += float(record.get("total_s", 0.0) or 0.0)
+    return out
+
+
+def collapsed_stacks(events: Sequence[Record]) -> List[str]:
+    """Collapsed-stack lines (``a;b;c <microseconds>``), sorted.
+
+    Span frames carry their *self* time (children and same-path op
+    samples subtracted); op frames appear as leaves under their span
+    path.  Zero-microsecond frames are dropped.
+    """
+    self_by_path: Dict[Path, float] = {}
+
+    def walk(node: Dict[str, Any], prefix: Path) -> None:
+        path = prefix + (node["name"],)
+        child_s = sum(c["dur_s"] for c in node["children"])
+        self_s = max(0.0, node["dur_s"] - child_s)
+        self_by_path[path] = self_by_path.get(path, 0.0) + self_s
+        for child in node["children"]:
+            walk(child, path)
+
+    for root in build_span_tree(events):
+        walk(root, ())
+
+    lines: List[str] = []
+    ops = op_totals(events)
+    for path, per_op in ops.items():
+        op_sum = 0.0
+        for name, (_, total_s) in per_op.items():
+            op_sum += total_s
+            micros = int(round(total_s * 1e6))
+            if micros > 0:
+                lines.append(";".join(path + (name,)) + f" {micros}")
+        if path in self_by_path:
+            self_by_path[path] = max(0.0, self_by_path[path] - op_sum)
+    for path, self_s in self_by_path.items():
+        micros = int(round(self_s * 1e6))
+        if micros > 0:
+            lines.append(";".join(path) + f" {micros}")
+    return sorted(lines)
+
+
+def critical_path(events: Sequence[Record]) -> List[Dict[str, Any]]:
+    """The heaviest root-to-leaf span chain.
+
+    Returns one segment per level: name, cumulative path, inclusive
+    duration, self time, and the fraction of the chain root's duration.
+    """
+    roots = build_span_tree(events)
+    if not roots:
+        return []
+    node = max(roots, key=lambda n: n["dur_s"])
+    total = node["dur_s"] or 1.0
+    segments: List[Dict[str, Any]] = []
+    prefix: Path = ()
+    while True:
+        prefix = prefix + (node["name"],)
+        child_s = sum(c["dur_s"] for c in node["children"])
+        segments.append({
+            "name": node["name"],
+            "path": prefix,
+            "dur_s": node["dur_s"],
+            "self_s": max(0.0, node["dur_s"] - child_s),
+            "frac": (node["dur_s"] / total) if total > 0 else 0.0,
+        })
+        if not node["children"]:
+            break
+        node = max(node["children"], key=lambda n: n["dur_s"])
+    return segments
+
+
+def render_critical_path(segments: Sequence[Dict[str, Any]]) -> str:
+    """Human-readable critical path, one indented line per level."""
+    if not segments:
+        return "critical path: (no spans)"
+    lines = ["critical path (heaviest span chain):"]
+    for depth, seg in enumerate(segments):
+        lines.append(
+            f"  {'  ' * depth}{seg['name']}  "
+            f"{seg['dur_s']:.3f}s total, {seg['self_s']:.3f}s self "
+            f"({100.0 * seg['frac']:.1f}%)")
+    return "\n".join(lines)
+
+
+def speedscope_profile(events: Sequence[Record],
+                       name: str = "repro-trace") -> Dict[str, Any]:
+    """An ``evented`` speedscope document (https://speedscope.app).
+
+    Timestamps are seconds relative to the first span's wall clock;
+    children are clamped inside their parent so the event stream stays
+    properly nested even across clock skew or torn traces.
+    """
+    roots = build_span_tree(events)
+    ops = op_totals(events)
+    frames: List[Dict[str, str]] = []
+    frame_idx: Dict[str, int] = {}
+    evts: List[Dict[str, Any]] = []
+    ops_pending = dict(ops)
+
+    def fidx(frame_name: str) -> int:
+        idx = frame_idx.get(frame_name)
+        if idx is None:
+            idx = frame_idx[frame_name] = len(frames)
+            frames.append({"name": frame_name})
+        return idx
+
+    t0 = min((r["wall"] for r in roots), default=0.0)
+
+    def emit(node: Dict[str, Any], lo: float, hi: float,
+             prefix: Path) -> float:
+        start = max(lo, node["wall"] - t0)
+        end = max(start, min(hi, start + node["dur_s"]))
+        path = prefix + (node["name"],)
+        evts.append({"type": "O", "frame": fidx(node["name"]), "at": start})
+        cursor = start
+        per_op = ops_pending.pop(path, None)
+        if per_op:
+            for op_name in sorted(per_op):
+                op_end = min(end, cursor + per_op[op_name][1])
+                idx = fidx(op_name)
+                evts.append({"type": "O", "frame": idx, "at": cursor})
+                evts.append({"type": "C", "frame": idx, "at": op_end})
+                cursor = op_end
+        for child in sorted(node["children"], key=lambda n: n["wall"]):
+            cursor = emit(child, cursor, end, path)
+        evts.append({"type": "C", "frame": fidx(node["name"]), "at": end})
+        return end
+
+    cursor = 0.0
+    for root in sorted(roots, key=lambda n: n["wall"]):
+        cursor = emit(root, cursor, float("inf"), ())
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "repro.obs.flame",
+        "shared": {"frames": frames},
+        "profiles": [{
+            "type": "evented",
+            "name": name,
+            "unit": "seconds",
+            "startValue": 0.0,
+            "endValue": cursor,
+            "events": evts,
+        }],
+    }

@@ -26,19 +26,31 @@ from ..contracts import shape_contract
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "LATENCY_EDGES",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "bucket_counts",
     "is_timing_metric",
+    "merge_snapshots",
     "metric_key",
+    "quantile_from_snapshot",
 ]
 
 #: default histogram bucket upper edges (geometric; overflow bucket is
 #: implicit).  Chosen to cover loss values, norms, and row counts alike.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0, 1000.0,
+)
+
+#: bucket edges for latency histograms (seconds).  DEFAULT_BUCKETS is
+#: far too coarse below a millisecond, where per-event stream scoring
+#: and incremental updates actually live.
+LATENCY_EDGES: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
 
 _TIMING_SUFFIXES = ("_seconds", "_ms")
@@ -77,6 +89,94 @@ def bucket_counts(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
     idx = np.searchsorted(edges, np.asarray(values, dtype=np.float64),
                           side="left")
     return np.bincount(idx, minlength=edges.size + 1).astype(np.int64)
+
+
+def quantile_from_snapshot(snapshot: Dict[str, object],
+                           q: float) -> Optional[float]:
+    """Estimated q-quantile from a histogram snapshot (p50/p95/p99).
+
+    Linear interpolation inside the bucket holding the target rank,
+    clamped to the observed min/max so estimates never leave the data's
+    range.  Returns ``None`` for empty histograms.  Raw observations are
+    not retained, so this is a bucket-resolution estimate — exact when
+    the quantile lands on a bucket edge, otherwise within one bucket.
+    """
+    count = int(snapshot.get("count") or 0)
+    if count <= 0 or snapshot.get("type") not in (None, "histogram"):
+        return None
+    counts = list(snapshot.get("counts") or ())
+    edges = list(snapshot.get("edges") or ())
+    observed_min = snapshot.get("min")
+    observed_max = snapshot.get("max")
+    if not counts:
+        return observed_max if q >= 0.5 else observed_min
+    rank = min(max(float(q), 0.0), 1.0) * count
+    cumulative = 0
+    for i, n in enumerate(counts):
+        n = int(n)
+        if n == 0:
+            continue
+        if cumulative + n >= rank:
+            lo = edges[i - 1] if i > 0 else observed_min
+            hi = edges[i] if i < len(edges) else observed_max
+            if lo is None:
+                lo = hi if hi is not None else 0.0
+            if hi is None:
+                hi = lo
+            if observed_min is not None:
+                lo = max(float(lo), float(observed_min))
+            if observed_max is not None:
+                hi = min(float(hi), float(observed_max))
+            if hi < lo:
+                return float(lo)
+            frac = (rank - cumulative) / n
+            return float(lo) + frac * (float(hi) - float(lo))
+        cumulative += n
+    return float(observed_max) if observed_max is not None else None
+
+
+def merge_snapshots(base: Dict[str, Dict],
+                    extra: Dict[str, Dict]) -> Dict[str, Dict]:
+    """Merge two metrics snapshots (``{rendered name: state}``).
+
+    Resumed runs write one ``metrics`` record per trace segment; this
+    folds them into run totals: counters sum, gauges keep the latest
+    non-null value, histograms with identical edges merge
+    counts/count/sum/min/max.  A histogram whose edges changed between
+    segments cannot be merged — the later segment wins.
+    """
+    out: Dict[str, Dict] = {name: dict(state) for name, state in base.items()}
+    for name, state in extra.items():
+        previous = out.get(name)
+        kind = state.get("type")
+        if previous is None or previous.get("type") != kind:
+            out[name] = dict(state)
+            continue
+        if kind == "counter":
+            previous["value"] = float(previous.get("value") or 0.0) + \
+                float(state.get("value") or 0.0)
+        elif kind == "gauge":
+            if state.get("value") is not None:
+                previous["value"] = state["value"]
+        elif kind == "histogram":
+            if previous.get("edges") != state.get("edges"):
+                out[name] = dict(state)
+                continue
+            previous["counts"] = [
+                int(a) + int(b)
+                for a, b in zip(previous.get("counts", ()),
+                                state.get("counts", ()))]
+            previous["count"] = int(previous.get("count") or 0) + \
+                int(state.get("count") or 0)
+            previous["sum"] = float(previous.get("sum") or 0.0) + \
+                float(state.get("sum") or 0.0)
+            for key, pick in (("min", min), ("max", max)):
+                a, b = previous.get(key), state.get(key)
+                previous[key] = pick(x for x in (a, b) if x is not None) \
+                    if (a is not None or b is not None) else None
+        else:
+            out[name] = dict(state)
+    return out
 
 
 @dataclass
@@ -164,6 +264,31 @@ class Histogram:
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (see :func:`quantile_from_snapshot`)."""
+        return quantile_from_snapshot(self.snapshot(), q)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's state in (resumed-run aggregation).
+
+        Requires identical bucket edges — merged counts are meaningless
+        otherwise.
+        """
+        if tuple(other.edges) != tuple(self.edges):
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += int(n)
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min,
+                                                              other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max,
+                                                              other.max)
 
     def snapshot(self) -> Dict[str, object]:
         return {

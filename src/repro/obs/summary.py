@@ -21,6 +21,7 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from .metrics import merge_snapshots, quantile_from_snapshot
 from .trace import TRACE_NAME, TraceError, fingerprint_view
 
 PathLike = Union[str, Path]
@@ -32,10 +33,17 @@ __all__ = [
     "span_rollup",
     "stream_rollup",
     "backend_rollup",
+    "prof_rollup",
     "summarize_trace",
     "render_summary",
+    "render_prof_summary",
     "render_stream_summary",
+    "diff_traces",
+    "render_diff",
 ]
+
+#: percentiles rendered for every histogram (p50/p95/p99)
+PERCENTILES = (0.50, 0.95, 0.99)
 
 
 def _trace_path(target: PathLike) -> Path:
@@ -206,20 +214,68 @@ def backend_rollup(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
     return rollup
 
 
+def prof_rollup(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Aggregate the profiler's op-level records, if the run was profiled.
+
+    Collects the ``op_stats`` (backend ops by phase/shape bucket),
+    ``kernel_stats`` (named kernels: sandwich forward ops, backward fns,
+    explicit scopes), ``phase_stats`` walls, and the memory summary the
+    profiler folded into the trace.  Returns None for unprofiled runs.
+    """
+    kernels = [r for r in events if r.get("kind") == "kernel_stats"]
+    backend_ops = [r for r in events if r.get("kind") == "op_stats"]
+    phases = {str(r.get("phase")): float(r.get("wall_s", 0.0) or 0.0)
+              for r in events if r.get("kind") == "phase_stats"}
+    mem = None
+    for record in events:
+        if record.get("kind") == "mem_summary":
+            mem = {k: v for k, v in record.items() if k != "kind"}
+    if not (kernels or backend_ops or phases or mem):
+        return None
+    kernel_s: Dict[str, float] = {}
+    for record in kernels:
+        phase = str(record.get("phase"))
+        kernel_s[phase] = kernel_s.get(phase, 0.0) + \
+            float(record.get("total_s", 0.0) or 0.0)
+    attribution = {
+        phase: {
+            "wall_s": wall,
+            "kernel_s": kernel_s.get(phase, 0.0),
+            "frac": (kernel_s.get(phase, 0.0) / wall) if wall > 0 else 0.0,
+        }
+        for phase, wall in sorted(phases.items())
+    }
+    return {
+        "attribution": attribution,
+        "kernels": sorted(kernels,
+                          key=lambda r: -float(r.get("total_s", 0.0) or 0.0)),
+        "backend_ops": sorted(
+            backend_ops,
+            key=lambda r: -float(r.get("total_s", 0.0) or 0.0)),
+        "memory": mem,
+        "mem_samples": sum(1 for r in events
+                           if r.get("kind") == "mem_sample"),
+        "pool_samples": sum(1 for r in events
+                            if r.get("kind") == "pool_sample"),
+    }
+
+
 def summarize_trace(target: PathLike) -> Dict[str, Any]:
     """Aggregate a trace into the structure the CLI renders.
 
     Sections: run identity, span rollup, decision telemetry (NID
     expansions / PIT trims per span, EIR distillation stats, fault-probe
-    firings, journal incidents), log lines, and the final metric
-    snapshot.
+    firings, journal incidents), log lines, profiler rollup, and the
+    metric snapshot (resumed runs write one ``metrics`` record per
+    segment; they are merged into run totals — counters sum, histograms
+    with matching edges fold together).
     """
     events, skipped = read_trace(target)
     opens = [e for e in events if e.get("kind") == "trace_open"]
     metrics: Dict[str, Any] = {}
     for record in events:
         if record.get("kind") == "metrics":
-            metrics = record.get("metrics", {})
+            metrics = merge_snapshots(metrics, record.get("metrics", {}))
 
     expansions = decision_events(events, "nid.expansion")
     trims = decision_events(events, "pit.trim")
@@ -270,9 +326,21 @@ def summarize_trace(target: PathLike) -> Dict[str, Any]:
             _field(e, "span_id") for e in committed),
         "stream": stream_rollup(events),
         "backend": backend_rollup(metrics),
+        "prof": prof_rollup(events),
         "log_lines": len(logs),
         "metrics": metrics,
     }
+
+
+def _percentile_cell(state: Dict[str, Any]) -> str:
+    """``p50=… p95=… p99=…`` for a histogram snapshot (empty if no data)."""
+    cells = []
+    for q in PERCENTILES:
+        value = quantile_from_snapshot(state, q)
+        if value is None:
+            return ""
+        cells.append(f"p{int(q * 100)}={value:.6g}")
+    return " ".join(cells)
 
 
 def render_summary(summary: Dict[str, Any]) -> str:
@@ -352,6 +420,10 @@ def render_summary(summary: Dict[str, Any]) -> str:
                 f"misses={pool['misses']} hit_rate={rate} "
                 f"bytes_reused={pool['bytes_reused']}")
 
+    prof = summary.get("prof")
+    if prof:
+        lines.append(render_prof_summary(prof))
+
     metrics = summary.get("metrics", {})
     if metrics:
         lines.append("metrics:")
@@ -362,6 +434,9 @@ def render_summary(summary: Dict[str, Any]) -> str:
                 mean = (state["sum"] / state["count"]) if state["count"] else 0
                 cell = (f"count={state['count']} mean={mean:.6g} "
                         f"min={state['min']:.6g} max={state['max']:.6g}")
+                pct = _percentile_cell(state)
+                if pct:
+                    cell += " " + pct
             else:
                 cell = f"value={state.get('value')}"
             lines.append(f"  {name:<{width}}  {cell}")
@@ -369,6 +444,48 @@ def render_summary(summary: Dict[str, Any]) -> str:
     stream = summary.get("stream")
     if stream is not None:
         lines.append(render_stream_summary(summary, header="stream:"))
+    return "\n".join(lines)
+
+
+def render_prof_summary(prof: Dict[str, Any], top: int = 12) -> str:
+    """Render the profiler rollup: attribution, op table, memory."""
+    lines = ["profile:"]
+    attribution = prof.get("attribution", {})
+    for phase, entry in attribution.items():
+        lines.append(
+            f"  phase[{phase}]  wall={entry['wall_s']:.3f}s "
+            f"attributed={entry['kernel_s']:.3f}s "
+            f"({100.0 * entry['frac']:.1f}%)")
+    kernels = prof.get("kernels", [])[:top]
+    if kernels:
+        lines.append("  kernels (top by total time):")
+        for record in kernels:
+            lines.append(
+                f"    {record.get('phase')}/{record.get('op')}  "
+                f"n={record.get('count')} "
+                f"total={float(record.get('total_s', 0.0)):.4f}s")
+    backend_ops = prof.get("backend_ops", [])[:top]
+    if backend_ops:
+        lines.append("  backend ops (top by total time):")
+        for record in backend_ops:
+            total_s = float(record.get("total_s", 0.0) or 0.0)
+            flops = float(record.get("flops", 0.0) or 0.0)
+            rate = f" {flops / total_s / 1e9:.2f}GF/s" if total_s > 0 and \
+                flops > 0 else ""
+            lines.append(
+                f"    {record.get('phase')}/{record.get('op')}"
+                f"[{record.get('bucket')}]  n={record.get('count')} "
+                f"total={total_s:.4f}s bytes={record.get('bytes')}{rate}")
+    mem = prof.get("memory")
+    if mem:
+        cell = (f"  memory         peak={mem.get('peak_bytes')}B "
+                f"live={mem.get('live_bytes')}B "
+                f"tensors={mem.get('tensors_tracked')}")
+        if mem.get("rss_kb") is not None:
+            cell += f" rss={mem['rss_kb']}kB"
+        lines.append(cell)
+    if prof.get("pool_samples"):
+        lines.append(f"  pool timeline  {prof['pool_samples']} sample(s)")
     return "\n".join(lines)
 
 
@@ -409,4 +526,124 @@ def render_stream_summary(summary: Dict[str, Any],
     for entry in stream.get("resumes", []):
         lines.append(f"  resumed        from interval {entry['interval']} "
                      f"at offset {entry['offset']}")
+    metrics = summary.get("metrics", {})
+    for metric, label in (("stream.score_seconds", "score latency"),
+                          ("stream.learn_seconds", "learn latency")):
+        state = metrics.get(metric)
+        if state and state.get("type") == "histogram" and state.get("count"):
+            pct = _percentile_cell(state)
+            if pct:
+                lines.append(f"  {label:<13}  {pct} (n={state['count']})")
+    return "\n".join(lines)
+
+
+def diff_traces(a: PathLike, b: PathLike) -> Dict[str, Any]:
+    """Compare two trace directories: spans, counters, and identity.
+
+    Fingerprint-aware: identical fingerprints mean the two runs made
+    byte-identical decisions and any difference is pure timing.  Span
+    durations are compared per span kind (count / total seconds / mean
+    seconds deltas), counters and gauges by value delta.
+    """
+    events_a, _ = read_trace(a)
+    events_b, _ = read_trace(b)
+    summary_a = summarize_trace(a)
+    summary_b = summarize_trace(b)
+
+    spans: Dict[str, Dict[str, Any]] = {}
+    rollup_a = span_rollup(events_a)
+    rollup_b = span_rollup(events_b)
+    for name in sorted(set(rollup_a) | set(rollup_b)):
+        entry_a = rollup_a.get(name, {"count": 0, "closed": 0,
+                                      "total_s": 0.0})
+        entry_b = rollup_b.get(name, {"count": 0, "closed": 0,
+                                      "total_s": 0.0})
+        mean_a = entry_a["total_s"] / entry_a["closed"] \
+            if entry_a["closed"] else 0.0
+        mean_b = entry_b["total_s"] / entry_b["closed"] \
+            if entry_b["closed"] else 0.0
+        spans[name] = {
+            "count_a": int(entry_a["count"]),
+            "count_b": int(entry_b["count"]),
+            "total_s_a": entry_a["total_s"],
+            "total_s_b": entry_b["total_s"],
+            "total_s_delta": entry_b["total_s"] - entry_a["total_s"],
+            "mean_s_delta": mean_b - mean_a,
+        }
+
+    counters: Dict[str, Dict[str, Any]] = {}
+    metrics_a = summary_a.get("metrics", {})
+    metrics_b = summary_b.get("metrics", {})
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        state_a = metrics_a.get(name, {})
+        state_b = metrics_b.get(name, {})
+        kind = state_b.get("type") or state_a.get("type")
+        if kind == "histogram":
+            value_a = state_a.get("count", 0) or 0
+            value_b = state_b.get("count", 0) or 0
+        else:
+            value_a = state_a.get("value", 0) or 0
+            value_b = state_b.get("value", 0) or 0
+        if value_a == value_b:
+            continue
+        counters[name] = {
+            "type": kind,
+            "a": value_a,
+            "b": value_b,
+            "delta": (float(value_b) - float(value_a))
+            if isinstance(value_a, (int, float))
+            and isinstance(value_b, (int, float)) else None,
+        }
+
+    return {
+        "a": str(_trace_path(a)),
+        "b": str(_trace_path(b)),
+        "fingerprint_a": summary_a["fingerprint"],
+        "fingerprint_b": summary_b["fingerprint"],
+        "fingerprints_match": summary_a["fingerprint"]
+        == summary_b["fingerprint"],
+        "events_a": summary_a["events"],
+        "events_b": summary_b["events"],
+        "spans": spans,
+        "counters": counters,
+    }
+
+
+def render_diff(diff: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`diff_traces`."""
+    lines = ["trace diff:",
+             f"  A: {diff['a']}",
+             f"  B: {diff['b']}"]
+    if diff["fingerprints_match"]:
+        lines.append(
+            f"  fingerprints match ({diff['fingerprint_a'][:16]}…) — "
+            f"identical decisions, differences below are timing only")
+    else:
+        lines.append(
+            f"  fingerprints DIFFER: {diff['fingerprint_a'][:16]}… vs "
+            f"{diff['fingerprint_b'][:16]}…")
+    lines.append(f"  events: {diff['events_a']} -> {diff['events_b']}")
+    spans = diff.get("spans", {})
+    if spans:
+        lines.append("spans (A -> B):")
+        width = max(len(name) for name in spans)
+        for name, entry in spans.items():
+            pct = ""
+            if entry["total_s_a"] > 0:
+                pct = (f" ({100.0 * entry['total_s_delta'] / entry['total_s_a']:+.1f}%)")
+            lines.append(
+                f"  {name:<{width}}  n={entry['count_a']}->{entry['count_b']}"
+                f"  total={entry['total_s_a']:.3f}s->"
+                f"{entry['total_s_b']:.3f}s{pct}")
+    counters = diff.get("counters", {})
+    if counters:
+        lines.append("metrics (changed only):")
+        width = max(len(name) for name in counters)
+        for name, entry in counters.items():
+            delta = entry.get("delta")
+            delta_cell = f" ({delta:+g})" if delta is not None else ""
+            lines.append(f"  {name:<{width}}  {entry['a']} -> "
+                         f"{entry['b']}{delta_cell}")
+    else:
+        lines.append("metrics: no value changes")
     return "\n".join(lines)

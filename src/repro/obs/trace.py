@@ -28,6 +28,7 @@ import contextlib
 import hashlib
 import json
 import os
+import sys
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -43,9 +44,17 @@ TRACE_NAME = "trace.jsonl"
 META_NAME = "trace-meta.json"
 METRICS_NAME = "metrics.json"
 
-#: record keys carrying wall-clock measurements; excluded from the
-#: deterministic trace fingerprint
-TIMING_KEYS = ("wall", "dur_s")
+#: record keys carrying wall-clock (or GC-dependent) measurements;
+#: excluded from the deterministic trace fingerprint.  ``total_s`` /
+#: ``wall_s`` come from profiler op records, ``mem`` is the per-span
+#: memory enrichment added when profiling with memory accounting.
+TIMING_KEYS = ("wall", "dur_s", "total_s", "wall_s", "mem")
+
+#: profiler record kinds whose *content* is allowed to vary between
+#: identical runs (live bytes and RSS follow GC timing); the fingerprint
+#: keeps only their ``kind`` so record order/count stays checked
+_NONDETERMINISTIC_KINDS = frozenset(
+    {"mem_sample", "pool_sample", "mem_summary"})
 
 _TRACE_VERSION = 1
 
@@ -92,6 +101,9 @@ def fingerprint_view(record: Dict[str, Any]) -> Dict[str, Any]:
     every timing metric (``*_seconds`` / ``*_ms``) is dropped — timing
     content is the one thing allowed to differ between identical runs.
     """
+    kind = record.get("kind")
+    if kind in _NONDETERMINISTIC_KINDS:
+        return {"kind": kind}
     record = strip_timing(record)
     if record.get("kind") == "metrics":
         record = dict(record)
@@ -106,7 +118,7 @@ def fingerprint_view(record: Dict[str, Any]) -> Dict[str, Any]:
 class _Span:
     """Context manager emitted by :meth:`Tracer.span`."""
 
-    __slots__ = ("_tracer", "name", "fields", "id", "_start")
+    __slots__ = ("_tracer", "name", "fields", "id", "_start", "_mem")
 
     def __init__(self, tracer: "Tracer", name: str, fields: Dict[str, Any]):
         self._tracer = tracer
@@ -114,6 +126,7 @@ class _Span:
         self.fields = fields
         self.id: Optional[int] = None
         self._start = 0.0
+        self._mem = None
 
     def __enter__(self) -> "_Span":
         tracer = self._tracer
@@ -128,6 +141,12 @@ class _Span:
         if self.fields:
             record["fields"] = self.fields
         tracer._stack.append(self.id)
+        tracer._names.append(self.name)
+        tracer._path_cache = None
+        mem = _mem_tracker()
+        if mem is not None:
+            mem.push_span()
+            self._mem = mem
         tracer._emit(record)
         self._start = time.perf_counter()
         return self
@@ -137,12 +156,20 @@ class _Span:
         tracer = self._tracer
         if tracer._stack and tracer._stack[-1] == self.id:
             tracer._stack.pop()
+            tracer._names.pop()
+            tracer._path_cache = None
         record = {
             "kind": "span_end",
             "id": self.id,
             "name": self.name,
             "dur_s": duration,
         }
+        mem = self._mem
+        if mem is not None:
+            # pop pairs with our push even if profiling stopped mid-span
+            record["mem"] = {"peak_bytes": mem.pop_span(),
+                             "live_bytes": mem.live}
+            self._mem = None
         if exc_type is not None:
             record["error"] = exc_type.__name__
         tracer._emit(record)
@@ -164,6 +191,13 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def _mem_tracker():
+    """The active :class:`repro.obs.prof.MemTracker`, if profiling with
+    memory accounting (looked up lazily — prof imports this module)."""
+    prof = sys.modules.get("repro.obs.prof")
+    return None if prof is None else prof._MEM
+
+
 class Tracer:
     """Owns one trace directory: the JSONL sink, span stack, and metrics.
 
@@ -183,6 +217,8 @@ class Tracer:
         self.events_written = 0
         self._id = 0
         self._stack: List[int] = []
+        self._names: List[str] = []
+        self._path_cache: Optional[tuple] = None
         self._hasher = hashlib.sha256()
         self._closed = False
         if self.path.exists():
@@ -250,6 +286,24 @@ class Tracer:
 
     def current_span_id(self) -> Optional[int]:
         return self._stack[-1] if self._stack else None
+
+    def span_path(self) -> tuple:
+        """Names of the open spans, outermost first (cached tuple)."""
+        path = self._path_cache
+        if path is None:
+            path = self._path_cache = tuple(self._names)
+        return path
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Append one pre-built record (profiler aggregates use this).
+
+        ``record`` must carry a ``kind``; wall-clock content must live in
+        the reserved :data:`TIMING_KEYS` so the fingerprint stays
+        deterministic.
+        """
+        if "kind" not in record:
+            raise TraceError("trace records require a 'kind'")
+        self._emit(record)
 
     def event(self, name: str, **fields: Any) -> None:
         """Emit one decision event attached to the innermost open span."""

@@ -53,7 +53,9 @@ from ..autograd import Tensor
 from ..eval.metrics import metrics_from_ranks, ranks_of_targets
 from ..incremental.strategy import IncrementalStrategy
 from ..nn import Adam, SparseAdam, clip_grad_norm
+from ..obs import prof as _prof
 from ..obs import trace as obs
+from ..obs.metrics import LATENCY_EDGES
 from ..persistence import load_checkpoint, run_fingerprint, save_checkpoint
 from ..sanitize import capture as _capture
 from .events import (
@@ -457,11 +459,16 @@ class _Pipeline:
         self._ensure_user(user)
         self._ensure_item(item)
 
-        hit, ndcg = self._score(user, item)
+        score_start = time.perf_counter()
+        with _prof.phase("score"):
+            hit, ndcg = self._score(user, item)
         self.window.append((hit, ndcg))
         self.counters["scored"] += 1
         if obs.enabled():
             obs.counter("stream.scored_events")
+            obs.observe("stream.score_seconds",
+                        time.perf_counter() - score_start,
+                        edges=LATENCY_EDGES)
             obs.observe("stream.event_ndcg", ndcg)
             recall = float(np.mean([h for h, _ in self.window]))
             obs.gauge("stream.window_recall", recall)
@@ -470,7 +477,14 @@ class _Pipeline:
         entry = {"seq": int(event.seq), "user": user, "item": item,
                  "ts": float(event.ts), "history": history}
         if self.mode == MODE_HEALTHY:
-            if self._train_one(user, item, history):
+            learn_start = time.perf_counter()
+            with _prof.phase("learn"):
+                took_step = self._train_one(user, item, history)
+            if took_step:
+                if obs.enabled():
+                    obs.observe("stream.learn_seconds",
+                                time.perf_counter() - learn_start,
+                                edges=LATENCY_EDGES)
                 self.chain = chain_extend(self.chain, event.seq)
                 self.counters["trained"] += 1
                 self._interval_events.append(entry)

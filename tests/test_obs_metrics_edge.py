@@ -1,0 +1,181 @@
+"""Edge cases for repro.obs.metrics: empty histograms, label cardinality,
+and histogram merging across resumed trace segments."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    read_trace,
+    summarize_trace,
+    tracing,
+)
+from repro.obs import trace as obs
+from repro.obs.metrics import (
+    LATENCY_EDGES,
+    merge_snapshots,
+    quantile_from_snapshot,
+)
+
+
+class TestEmptyHistograms:
+    def test_quantiles_of_an_empty_histogram_are_none(self):
+        hist = Histogram("empty")
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) is None
+        assert hist.mean is None
+
+    def test_snapshot_with_zero_count_yields_none(self):
+        snapshot = {"type": "histogram", "count": 0, "counts": [],
+                    "edges": [], "min": None, "max": None}
+        assert quantile_from_snapshot(snapshot, 0.5) is None
+
+    def test_single_observation_pins_every_quantile(self):
+        hist = Histogram("one", edges=LATENCY_EDGES)
+        hist.observe(3.0e-4)
+        for q in (0.0, 0.5, 0.99):
+            assert hist.quantile(q) == pytest.approx(3.0e-4)
+
+    def test_histogram_with_empty_buckets_interpolates_around_them(self):
+        hist = Histogram("gappy", edges=(1.0, 2.0, 3.0, 4.0))
+        for value in (0.5, 0.6, 3.5, 3.6):  # nothing in the middle buckets
+            hist.observe(value)
+        p50 = hist.quantile(0.50)
+        p99 = hist.quantile(0.99)
+        assert 0.5 <= p50 <= 3.6
+        assert p50 <= p99 <= 3.6
+
+    def test_non_histogram_snapshots_are_rejected(self):
+        assert quantile_from_snapshot(
+            {"type": "counter", "value": 5.0, "count": 5}, 0.5) is None
+
+
+class TestLabelCardinality:
+    def test_each_label_set_is_a_distinct_metric(self):
+        registry = MetricsRegistry()
+        n = 500
+        for i in range(n):
+            registry.counter("requests", shard=i % 10, user=i).inc()
+        assert len(registry) == n
+        snapshot = registry.snapshot()
+        assert len(snapshot) == n
+        assert all(state["value"] == 1.0 for state in snapshot.values())
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", a=1, b=2).inc()
+        registry.counter("hits", b=2, a=1).inc()
+        assert len(registry) == 1
+        assert registry.counter("hits", a=1, b=2).value == 2.0
+
+    def test_snapshot_is_deterministically_ordered(self):
+        registry = MetricsRegistry()
+        for i in (3, 1, 2):
+            registry.gauge("g", idx=i).set(i)
+        assert list(registry.snapshot()) == \
+            ["g{idx=1}", "g{idx=2}", "g{idx=3}"]
+
+    def test_kind_collisions_are_type_errors(self):
+        registry = MetricsRegistry()
+        registry.counter("m", shard=1)
+        registry.histogram("m", shard=2)  # different labels: fine
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("m", shard=1)
+
+    def test_high_cardinality_survives_the_trace_roundtrip(self, tmp_path):
+        with tracing(tmp_path):
+            for i in range(64):
+                obs.counter("shards.touched", shard=i)
+        summary = summarize_trace(tmp_path)
+        shard_rows = [name for name in summary["metrics"]
+                      if name.startswith("shards.touched{")]
+        assert len(shard_rows) == 64
+
+
+class TestHistogramMerge:
+    def test_merge_requires_identical_edges(self):
+        base = Histogram("h", edges=(1.0, 2.0))
+        other = Histogram("h", edges=(1.0, 3.0))
+        with pytest.raises(ValueError, match="different edges"):
+            base.merge(other)
+
+    def test_merge_folds_counts_and_extrema(self):
+        a = Histogram("h")
+        b = Histogram("h")
+        for v in (0.1, 0.2):
+            a.observe(v)
+        for v in (5.0, 50.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(55.3)
+        assert a.min == pytest.approx(0.1)
+        assert a.max == pytest.approx(50.0)
+        assert sum(a.counts) == 4
+
+    def test_merging_an_empty_histogram_is_identity(self):
+        a = Histogram("h")
+        a.observe(1.5)
+        before = a.snapshot()
+        a.merge(Histogram("h"))
+        assert a.snapshot() == before
+
+    def test_merge_snapshots_folds_all_metric_kinds(self):
+        seg1 = {
+            "c": {"type": "counter", "value": 2.0},
+            "g": {"type": "gauge", "value": 1.0},
+            "h": Histogram("h").snapshot(),
+        }
+        seg2 = {
+            "c": {"type": "counter", "value": 3.0},
+            "g": {"type": "gauge", "value": None},
+            "h": Histogram("h").snapshot(),
+        }
+        seg1["h"]["count"], seg1["h"]["counts"] = 1, [1] + [0] * 9
+        seg1["h"]["sum"], seg1["h"]["min"], seg1["h"]["max"] = 0.5, 0.5, 0.5
+        seg2["h"]["count"], seg2["h"]["counts"] = 1, [0, 1] + [0] * 8
+        seg2["h"]["sum"], seg2["h"]["min"], seg2["h"]["max"] = 2.0, 2.0, 2.0
+        merged = merge_snapshots(seg1, seg2)
+        assert merged["c"]["value"] == 5.0
+        assert merged["g"]["value"] == 1.0  # None never overwrites
+        assert merged["h"]["count"] == 2
+        assert merged["h"]["min"] == 0.5 and merged["h"]["max"] == 2.0
+
+    def test_edge_change_between_segments_keeps_the_later_segment(self):
+        old = {"h": {"type": "histogram", "count": 4, "sum": 1.0,
+                     "min": 0.1, "max": 0.4, "edges": [1.0],
+                     "counts": [4, 0]}}
+        new = {"h": {"type": "histogram", "count": 2, "sum": 6.0,
+                     "min": 2.0, "max": 4.0, "edges": [1.0, 5.0],
+                     "counts": [0, 2, 0]}}
+        merged = merge_snapshots(old, new)
+        assert merged["h"] == new["h"]
+
+    def test_resumed_trace_merges_histograms_across_segments(
+            self, tmp_path):
+        with tracing(tmp_path):
+            obs.observe("loss.value", 0.25)
+            obs.counter("events.seen")
+        with tracing(tmp_path, resume=True):
+            obs.observe("loss.value", 0.75)
+            obs.counter("events.seen")
+        events, _ = read_trace(tmp_path)
+        segments = [e for e in events if e.get("kind") == "metrics"]
+        assert len(segments) == 2  # one snapshot per trace segment
+        summary = summarize_trace(tmp_path)
+        loss = summary["metrics"]["loss.value"]
+        assert loss["count"] == 2
+        assert loss["min"] == pytest.approx(0.25)
+        assert loss["max"] == pytest.approx(0.75)
+        assert summary["metrics"]["events.seen"]["value"] == 2.0
+
+    def test_merged_state_stays_json_serializable(self):
+        a = Histogram("h", edges=LATENCY_EDGES)
+        b = Histogram("h", edges=LATENCY_EDGES)
+        a.observe_many([1e-4, 2e-4, 3e-4])
+        b.observe_many([5e-3, 1e-2])
+        merged = merge_snapshots({"h": a.snapshot()}, {"h": b.snapshot()})
+        json.dumps(merged)
+        assert quantile_from_snapshot(merged["h"], 0.5) is not None

@@ -1,0 +1,292 @@
+"""Tests for the trace tooling: percentiles, diffs, flamegraphs, and the
+perf-regression gate in benchmarks/summarize.py."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_strategy
+from repro.obs import (
+    build_span_tree,
+    collapsed_stacks,
+    critical_path,
+    diff_traces,
+    read_trace,
+    render_critical_path,
+    render_diff,
+    render_summary,
+    speedscope_profile,
+    summarize_trace,
+)
+
+from tests.test_crash_resume import build, fast_config
+
+
+def load_summarize():
+    """Import benchmarks/summarize.py (a script, not a package) by path."""
+    path = Path(__file__).resolve().parent.parent / "benchmarks" / \
+        "summarize.py"
+    spec = importlib.util.spec_from_file_location("bench_summarize", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def summarize():
+    return load_summarize()
+
+
+@pytest.fixture(scope="module")
+def traced_pair(tiny_split, tmp_path_factory):
+    """Two profiled traced runs of the same seeded strategy."""
+    root = tmp_path_factory.mktemp("traces")
+    for sub in ("a", "b"):
+        run_strategy(build(tiny_split, config=fast_config()), tiny_split,
+                     "tiny", "ComiRec-DR", trace_dir=root / sub,
+                     profile=True)
+    return root / "a", root / "b"
+
+
+# ---------------------------------------------------------------------- #
+# percentile rendering
+# ---------------------------------------------------------------------- #
+class TestPercentileRendering:
+    def test_summary_rows_carry_p50_p95_p99(self, traced_pair):
+        summary = summarize_trace(traced_pair[0])
+        text = render_summary(summary)
+        # every histogram with data renders its percentile cells
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+    def test_percentiles_respect_observed_range(self, traced_pair):
+        from repro.obs.metrics import quantile_from_snapshot
+        summary = summarize_trace(traced_pair[0])
+        hists = [state for state in summary["metrics"].values()
+                 if state.get("type") == "histogram" and state.get("count")]
+        assert hists
+        for state in hists:
+            p50 = quantile_from_snapshot(state, 0.50)
+            p99 = quantile_from_snapshot(state, 0.99)
+            assert state["min"] <= p50 <= p99 <= state["max"]
+
+
+# ---------------------------------------------------------------------- #
+# trace diff
+# ---------------------------------------------------------------------- #
+class TestTraceDiff:
+    def test_identical_decisions_match_fingerprints(self, traced_pair):
+        diff = diff_traces(*traced_pair)
+        assert diff["fingerprints_match"]
+        assert diff["counters"] == {}  # same decisions -> same counts
+        assert set(diff["spans"])  # spans still compared for timing
+
+    def test_diff_detects_changed_runs(self, tiny_split, traced_pair,
+                                       tmp_path):
+        run_strategy(
+            build(tiny_split, config=fast_config(epochs_incremental=2)),
+            tiny_split, "tiny", "ComiRec-DR", trace_dir=tmp_path,
+            profile=True)
+        diff = diff_traces(traced_pair[0], tmp_path)
+        assert not diff["fingerprints_match"]
+        assert diff["counters"]  # train.steps etc. moved
+        text = render_diff(diff)
+        assert "fingerprints DIFFER" in text
+        assert "metrics (changed only):" in text
+
+    def test_render_diff_marks_matching_runs_as_timing_only(
+            self, traced_pair):
+        text = render_diff(diff_traces(*traced_pair))
+        assert "fingerprints match" in text
+        assert "timing only" in text
+
+
+# ---------------------------------------------------------------------- #
+# flamegraphs / critical path
+# ---------------------------------------------------------------------- #
+class TestFlame:
+    def test_span_tree_reassembles_the_run(self, traced_pair):
+        events, _ = read_trace(traced_pair[0])
+        roots = build_span_tree(events)
+        assert roots
+        names = {root["name"] for root in roots}
+        assert "run" in names
+        run = next(r for r in roots if r["name"] == "run")
+        assert run["dur_s"] > 0 and run["children"]
+
+    def test_collapsed_stacks_are_wellformed(self, traced_pair):
+        events, _ = read_trace(traced_pair[0])
+        lines = collapsed_stacks(events)
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, micros = line.rsplit(" ", 1)
+            assert int(micros) > 0
+            assert stack.split(";")[0] == "run"
+        # op leaves appear under their span path
+        assert any("fwd." in line for line in lines)
+
+    def test_critical_path_descends_the_heaviest_chain(self, traced_pair):
+        events, _ = read_trace(traced_pair[0])
+        segments = critical_path(events)
+        assert segments and segments[0]["name"] == "run"
+        durs = [seg["dur_s"] for seg in segments]
+        assert durs == sorted(durs, reverse=True)  # children nest inside
+        text = render_critical_path(segments)
+        assert text.startswith("critical path")
+        assert render_critical_path([]) == "critical path: (no spans)"
+
+    def test_speedscope_document_is_balanced(self, traced_pair):
+        events, _ = read_trace(traced_pair[0])
+        doc = speedscope_profile(events)
+        profile = doc["profiles"][0]
+        assert profile["type"] == "evented"
+        depth = 0
+        last_at = 0.0
+        for evt in profile["events"]:
+            assert evt["at"] >= last_at - 1e-12  # monotone timeline
+            last_at = evt["at"]
+            depth += 1 if evt["type"] == "O" else -1
+            assert depth >= 0
+        assert depth == 0  # every open frame closes
+        assert profile["endValue"] >= profile["startValue"]
+        json.dumps(doc)  # serializable as-is
+
+    def test_unclosed_spans_are_tolerated(self):
+        events = [
+            {"kind": "span_start", "id": 1, "name": "run", "wall": 0.0},
+            {"kind": "span_start", "id": 2, "name": "train_span",
+             "parent": 1, "wall": 0.1},
+            {"kind": "span_end", "id": 2, "dur_s": 0.5},
+            # id 1 never closes: a crashed run
+        ]
+        roots = build_span_tree(events)
+        assert roots[0]["dur_s"] == pytest.approx(0.5)
+        assert critical_path(events)[0]["name"] == "run"
+
+
+# ---------------------------------------------------------------------- #
+# perf-regression gate (benchmarks/summarize.py --regress)
+# ---------------------------------------------------------------------- #
+def perf_report(train=0.100, extract=0.020, evals=0.010, speedup=3.0):
+    return {
+        "tool": "repro.perf",
+        "scales": {
+            "large": {
+                "train": {"batched_s": train, "speedup": speedup},
+                "extract": {"batched_s": extract, "speedup": speedup},
+                "eval": {"batched_s": evals, "speedup": speedup},
+            },
+        },
+    }
+
+
+def history_lines(summarize, n=3, **kwargs):
+    return [{"probe": "repro.perf",
+             "metrics": summarize.flatten_perf_metrics(perf_report(**kwargs))}
+            for _ in range(n)]
+
+
+class TestFlattenPerfMetrics:
+    def test_flattens_layer_times_and_speedups(self, summarize):
+        metrics = summarize.flatten_perf_metrics(perf_report())
+        assert metrics["large.train_s"] == pytest.approx(0.100)
+        assert metrics["large.train_speedup"] == pytest.approx(3.0)
+        assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_rejects_foreign_reports(self, summarize):
+        with pytest.raises(ValueError, match="not a perf report"):
+            summarize.flatten_perf_metrics({"tool": "repro.obs"})
+
+
+class TestRegressionCheck:
+    def test_clean_rerun_passes(self, summarize):
+        history = history_lines(summarize)
+        current = summarize.flatten_perf_metrics(perf_report())
+        rows, failures = summarize.regression_check(current, history)
+        assert failures == []
+        assert rows  # every metric produced a gated row
+
+    def test_injected_20pct_slowdown_fails(self, summarize):
+        history = history_lines(summarize)
+        slow = summarize.flatten_perf_metrics(perf_report(
+            train=0.120, extract=0.024, evals=0.012))
+        rows, failures = summarize.regression_check(slow, history)
+        failed = {row["metric"] for row in failures}
+        assert {"large.train_s", "large.extract_s",
+                "large.eval_s"} <= failed
+
+    def test_speedup_collapse_fails(self, summarize):
+        history = history_lines(summarize)
+        collapsed = summarize.flatten_perf_metrics(
+            perf_report(speedup=1.0))
+        _, failures = summarize.regression_check(collapsed, history)
+        assert any(row["metric"].endswith("_speedup") for row in failures)
+
+    def test_short_history_is_skipped_not_failed(self, summarize):
+        history = history_lines(summarize, n=summarize.MIN_HISTORY - 1)
+        slow = summarize.flatten_perf_metrics(perf_report(train=1.0))
+        rows, failures = summarize.regression_check(slow, history)
+        assert failures == []
+        assert all(row["status"].startswith("skipped") for row in rows)
+
+    def test_slack_widens_the_threshold(self, summarize):
+        history = history_lines(summarize)
+        mild = summarize.flatten_perf_metrics(perf_report(train=0.118))
+        _, tight = summarize.regression_check(mild, history, slack=1.0)
+        _, loose = summarize.regression_check(mild, history, slack=2.5)
+        assert any(row["metric"] == "large.train_s" for row in tight)
+        assert not any(row["metric"] == "large.train_s" for row in loose)
+
+    def test_noisy_history_widens_up_to_the_ceiling(self, summarize):
+        # alternating fast/slow history -> large MAD -> threshold at ceil
+        noisy = []
+        for value in (0.080, 0.120, 0.080, 0.120):
+            noisy.extend(history_lines(summarize, n=1, train=value))
+        current = summarize.flatten_perf_metrics(perf_report(train=0.115))
+        rows, failures = summarize.regression_check(current, noisy)
+        assert not any(row["metric"] == "large.train_s" for row in failures)
+        # the ceiling still catches a 2x collapse
+        bad = summarize.flatten_perf_metrics(perf_report(train=0.200))
+        _, failures = summarize.regression_check(bad, noisy)
+        assert any(row["metric"] == "large.train_s" for row in failures)
+
+
+class TestRegressionCli:
+    def write(self, path, payload):
+        path.write_text(json.dumps(payload) + "\n")
+        return path
+
+    def write_history(self, summarize, path, n=3):
+        lines = [json.dumps(entry) for entry in history_lines(summarize, n)]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_exit_codes(self, summarize, tmp_path, capsys):
+        history = self.write_history(summarize, tmp_path / "hist.jsonl")
+        clean = self.write(tmp_path / "clean.json", perf_report())
+        slow = self.write(tmp_path / "slow.json",
+                          perf_report(train=0.120, extract=0.024,
+                                      evals=0.012))
+        assert summarize.main([
+            "summarize.py", "--regress", str(clean),
+            "--history", str(history)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert summarize.main([
+            "summarize.py", "--regress", str(slow),
+            "--history", str(history)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_torn_history_lines_are_skipped(self, summarize, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        lines = [json.dumps(entry)
+                 for entry in history_lines(summarize, n=3)]
+        lines.insert(1, '{"torn": ')  # crash mid-write
+        history.write_text("\n".join(lines) + "\n")
+        assert len(summarize.read_history(history)) == 3
+
+    def test_missing_history_is_an_input_error(self, summarize, tmp_path):
+        clean = self.write(tmp_path / "clean.json", perf_report())
+        assert summarize.main([
+            "summarize.py", "--regress", str(clean),
+            "--history", str(tmp_path / "absent.jsonl")]) == 2
